@@ -1,0 +1,150 @@
+#include "fig_common.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <memory>
+
+#include "harness/calibrate.hpp"
+#include "harness/driver.hpp"
+#include "harness/table.hpp"
+#include "queues/queues.hpp"
+#include "sim/workload.hpp"
+
+namespace msq::bench {
+namespace {
+
+/// Real-thread sweep point: run the paper's loop on the actual std::atomic
+/// implementations.  On this one-core host all p > 1 runs are inherently
+/// multiprogrammed; the numbers are reported for completeness next to the
+/// simulator's dedicated-machine curves.
+double real_net_seconds(std::size_t algo, std::uint32_t threads,
+                        std::uint64_t pairs) {
+  harness::WorkloadConfig config;
+  config.threads = threads;
+  config.total_pairs = pairs;
+  config.other_work_iters = harness::spin_iters_for_us(6.0);  // paper: ~6us
+  const std::uint32_t capacity = threads * 4 + 64;
+  switch (algo) {
+    case 0: {
+      queues::SingleLockQueue<std::uint64_t> q(capacity);
+      return harness::run_workload(q, config).net_seconds;
+    }
+    case 1: {
+      queues::MellorCrummeyQueue<std::uint64_t> q(capacity);
+      return harness::run_workload(q, config).net_seconds;
+    }
+    case 2: {
+      queues::ValoisQueue<std::uint64_t> q(capacity);
+      return harness::run_workload(q, config).net_seconds;
+    }
+    case 3: {
+      queues::TwoLockQueue<std::uint64_t> q(capacity);
+      return harness::run_workload(q, config).net_seconds;
+    }
+    case 4: {
+      queues::PljQueue<std::uint64_t> q(capacity);
+      return harness::run_workload(q, config).net_seconds;
+    }
+    default: {
+      queues::MsQueue<std::uint64_t> q(capacity);
+      return harness::run_workload(q, config).net_seconds;
+    }
+  }
+}
+
+}  // namespace
+
+bool parse_args(int argc, char** argv, FigConfig& config) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto next_u64 = [&](std::uint64_t& out) {
+      if (i + 1 >= argc) return false;
+      out = std::strtoull(argv[++i], nullptr, 10);
+      return true;
+    };
+    std::uint64_t v = 0;
+    if (std::strcmp(arg, "--pairs") == 0 && next_u64(v)) {
+      config.pairs = v;
+    } else if (std::strcmp(arg, "--max-procs") == 0 && next_u64(v)) {
+      config.max_procs = static_cast<std::uint32_t>(v);
+    } else if (std::strcmp(arg, "--seed") == 0 && next_u64(v)) {
+      config.seed = v;
+    } else if (std::strcmp(arg, "--real") == 0) {
+      config.also_real = true;
+    } else if (std::strcmp(arg, "--csv") == 0) {
+      config.csv = true;
+    } else {
+      std::cerr << "usage: " << argv[0]
+                << " [--pairs N] [--max-procs P] [--seed S] [--real] [--csv]\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+void run_figure(const FigConfig& config) {
+  // Simulated-multiprocessor sweep (the paper's testbed substitute).
+  // Time unit: one simulated cost unit ~ 10ns; we report "seconds for 10^6
+  // pairs" like the paper by scaling to the requested pair count.
+  harness::SeriesTable table(config.title + "  [simulated multiprocessor; "
+                             "net sim-seconds per 10^6 pairs]",
+                             "procs");
+  std::vector<std::size_t> cols;
+  cols.reserve(std::size(sim::kAllAlgos));
+  for (const sim::Algo algo : sim::kAllAlgos) {
+    cols.push_back(table.add_series(sim::algo_name(algo)));
+  }
+
+  const double to_seconds_per_million =
+      1e-8 * 1e6 / static_cast<double>(config.pairs);  // 10ns/unit, scaled
+
+  for (std::uint32_t procs = 1; procs <= config.max_procs; ++procs) {
+    table.add_row(procs);
+    for (std::size_t a = 0; a < std::size(sim::kAllAlgos); ++a) {
+      sim::SimRunConfig run;
+      run.algo = sim::kAllAlgos[a];
+      run.processors = procs;
+      run.procs_per_processor = config.procs_per_processor;
+      run.total_pairs = config.pairs;
+      run.seed = config.seed;
+      run.backoff_max = config.backoff_max;
+      const sim::SimRunResult result = sim::run_sim_workload(run);
+      table.set(cols[a], result.net * to_seconds_per_million);
+    }
+  }
+  if (config.csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+
+  if (!config.also_real) return;
+
+  harness::SeriesTable real_table(
+      config.title + "  [real threads on this host (" +
+          std::to_string(std::thread::hardware_concurrency()) +
+          " hardware core(s), oversubscribed => multiprogrammed); "
+          "net seconds per 10^6 pairs]",
+      "threads");
+  std::vector<std::size_t> real_cols;
+  for (const sim::Algo algo : sim::kAllAlgos) {
+    real_cols.push_back(real_table.add_series(sim::algo_name(algo)));
+  }
+  const double scale = 1e6 / static_cast<double>(config.pairs);
+  for (std::uint32_t procs = 1; procs <= config.max_procs; ++procs) {
+    const std::uint32_t threads = procs * config.procs_per_processor;
+    real_table.add_row(procs);
+    for (std::size_t a = 0; a < std::size(sim::kAllAlgos); ++a) {
+      real_table.set(real_cols[a],
+                     real_net_seconds(a, threads, config.pairs) * scale);
+    }
+  }
+  if (config.csv) {
+    real_table.print_csv(std::cout);
+  } else {
+    real_table.print(std::cout);
+  }
+}
+
+}  // namespace msq::bench

@@ -1,0 +1,39 @@
+// Shared driver for the figure-reproduction benches (Figures 3, 4, 5 and
+// the backoff ablation): sweeps processor counts, runs every algorithm on
+// the simulated multiprocessor (and optionally with real threads), and
+// prints the figure's series as a table.
+//
+// Command line (all optional):
+//   --pairs N      total enqueue/dequeue pairs per run   (default 100000;
+//                  the paper uses 10^6 -- pass --pairs 1000000 to match)
+//   --max-procs P  sweep 1..P processors                 (default 12)
+//   --real         ALSO run the real-thread harness (multiprogrammed on
+//                  this host; reported separately)
+//   --csv          emit CSV instead of the aligned table
+//   --seed S       simulator seed
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace msq::bench {
+
+struct FigConfig {
+  std::string title;
+  std::uint32_t procs_per_processor = 1;  // 1=Fig3, 2=Fig4, 3=Fig5
+  std::uint64_t pairs = 100'000;
+  std::uint32_t max_procs = 12;
+  bool also_real = false;
+  bool csv = false;
+  std::uint64_t seed = 1;
+  double backoff_max = 1024;  // ablation overrides this
+};
+
+/// Parse the common flags into `config` (title/procs_per_processor are set
+/// by the caller).  Returns false (after printing usage) on a bad flag.
+bool parse_args(int argc, char** argv, FigConfig& config);
+
+/// Run the sweep and print the table(s) to stdout.
+void run_figure(const FigConfig& config);
+
+}  // namespace msq::bench

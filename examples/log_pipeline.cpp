@@ -1,0 +1,139 @@
+// A multi-producer event-logging pipeline: many application threads emit
+// fixed-size log records through the MS non-blocking queue to a single
+// writer thread, with explicit backpressure accounting when the bounded
+// node pool fills -- the paper's motivating "queues in parallel programs
+// and operating systems" scenario.
+//
+// Records are indices into a preallocated slab (the idiomatic way to move
+// >8-byte payloads through the lock-free queue).
+//
+// Build & run:   ./build/examples/log_pipeline
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "queues/ms_queue.hpp"
+#include "queues/spsc_ring.hpp"
+
+namespace {
+
+struct LogRecord {
+  std::uint32_t producer;
+  std::uint32_t severity;
+  std::uint64_t sequence;
+  std::uint64_t payload;
+};
+
+constexpr std::uint32_t kSlabSize = 4096;
+
+/// Slab of records + a free-index queue: producers acquire a slot, fill it,
+/// publish the index; the writer consumes and recycles the slot.  The slot
+/// recycler is itself an MS queue -- the library eating its own dog food.
+class LogBus {
+ public:
+  LogBus() : free_slots_(kSlabSize), published_(kSlabSize) {
+    for (std::uint32_t i = 0; i < kSlabSize; ++i) {
+      [[maybe_unused]] const bool ok = free_slots_.try_enqueue(i);
+    }
+  }
+
+  bool try_emit(const LogRecord& record) {
+    std::uint32_t slot = 0;
+    if (!free_slots_.try_dequeue(slot)) return false;  // backpressure
+    slab_[slot] = record;
+    while (!published_.try_enqueue(slot)) {
+      // Cannot happen (published_ has slab capacity), but stay defensive.
+      std::this_thread::yield();
+    }
+    return true;
+  }
+
+  bool try_drain(LogRecord& out) {
+    std::uint32_t slot = 0;
+    if (!published_.try_dequeue(slot)) return false;
+    out = slab_[slot];
+    while (!free_slots_.try_enqueue(slot)) {
+      std::this_thread::yield();
+    }
+    return true;
+  }
+
+ private:
+  std::array<LogRecord, kSlabSize> slab_{};
+  msq::queues::MsQueue<std::uint32_t> free_slots_;
+  msq::queues::MsQueue<std::uint32_t> published_;
+};
+
+}  // namespace
+
+int main() {
+  LogBus bus;
+  constexpr std::uint32_t kProducers = 4;
+  constexpr std::uint64_t kPerProducer = 200'000;
+
+  std::atomic<std::uint32_t> running{kProducers};
+  std::atomic<std::uint64_t> dropped{0};
+
+  std::uint64_t written = 0;
+  std::uint64_t severity_histogram[4] = {0, 0, 0, 0};
+  std::vector<std::uint64_t> last_seq(kProducers, 0);
+  bool order_ok = true;
+
+  std::vector<std::jthread> threads;
+  for (std::uint32_t p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (std::uint64_t seq = 1; seq <= kPerProducer; ++seq) {
+        const LogRecord record{p, static_cast<std::uint32_t>(seq % 4), seq,
+                               seq * 0x9e3779b9u};
+        if (!bus.try_emit(record)) {
+          // Backpressure: give the writer the core once, then drop if the
+          // bus is still full.  (A real logger might block, sample, or
+          // spill to a local buffer; dropping keeps the path non-blocking.)
+          std::this_thread::yield();
+          if (!bus.try_emit(record)) {
+            dropped.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+      running.fetch_sub(1);
+    });
+  }
+
+  // The single writer: drains until all producers finished AND the bus is
+  // empty.  Per-producer sequence numbers prove FIFO per producer.
+  threads.emplace_back([&] {
+    LogRecord record{};
+    for (;;) {
+      if (bus.try_drain(record)) {
+        ++written;
+        ++severity_histogram[record.severity];
+        if (record.sequence <= last_seq[record.producer]) order_ok = false;
+        last_seq[record.producer] = record.sequence;
+      } else if (running.load() == 0) {
+        if (!bus.try_drain(record)) break;
+        ++written;
+        ++severity_histogram[record.severity];
+        if (record.sequence <= last_seq[record.producer]) order_ok = false;
+        last_seq[record.producer] = record.sequence;
+      }
+    }
+  });
+  threads.clear();
+
+  const std::uint64_t emitted = kProducers * kPerProducer - dropped.load();
+  std::cout << "emitted  " << emitted << " records (" << dropped.load()
+            << " dropped under backpressure)\n"
+            << "written  " << written << " records\n"
+            << "severity histogram:";
+  for (const std::uint64_t h : severity_histogram) std::cout << ' ' << h;
+  std::cout << '\n'
+            << (written == emitted && order_ok
+                    ? "OK: lossless delivery, per-producer FIFO preserved\n"
+                    : "MISMATCH -- bug!\n");
+  return written == emitted && order_ok ? 0 : 1;
+}

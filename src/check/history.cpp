@@ -1,0 +1,39 @@
+#include "check/history.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace msq::check {
+
+std::vector<Event> merge_logs(const std::vector<ThreadLog>& logs) {
+  std::vector<Event> merged;
+  std::size_t total = 0;
+  for (const auto& log : logs) total += log.events().size();
+  merged.reserve(total);
+  for (const auto& log : logs) {
+    merged.insert(merged.end(), log.events().begin(), log.events().end());
+  }
+  std::sort(merged.begin(), merged.end(), [](const Event& a, const Event& b) {
+    return a.invoke_ns < b.invoke_ns;
+  });
+  return merged;
+}
+
+std::string format_event(const Event& e) {
+  std::ostringstream os;
+  switch (e.kind) {
+    case OpKind::kEnqueue:
+      os << "enq(" << e.value << ")";
+      break;
+    case OpKind::kDequeue:
+      os << "deq()=" << e.value;
+      break;
+    case OpKind::kDequeueEmpty:
+      os << "deq()=EMPTY";
+      break;
+  }
+  os << " t" << e.thread << " [" << e.invoke_ns << "," << e.response_ns << "]";
+  return os.str();
+}
+
+}  // namespace msq::check

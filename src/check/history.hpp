@@ -1,0 +1,55 @@
+// Operation-history recording for linearizability checking (paper §3.2).
+//
+// Worker threads log one Event per completed queue operation with invoke
+// and response timestamps.  Per-thread logs are lock-free to record (each
+// thread owns its vector) and merged after the run; the checker consumes
+// the merged, time-sorted history.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace msq::check {
+
+enum class OpKind : std::uint8_t {
+  kEnqueue,       // try_enqueue returned true
+  kDequeue,       // try_dequeue returned true
+  kDequeueEmpty,  // try_dequeue returned false (observed empty)
+};
+
+struct Event {
+  OpKind kind;
+  std::uint64_t value;     // enqueued/dequeued value; unused for kDequeueEmpty
+  std::int64_t invoke_ns;  // timestamp before the call
+  std::int64_t response_ns;  // timestamp after the call
+  std::uint32_t thread;
+};
+
+/// Log owned by one thread; no synchronisation needed while recording.
+class ThreadLog {
+ public:
+  explicit ThreadLog(std::uint32_t thread_id) : thread_(thread_id) {}
+
+  void record(OpKind kind, std::uint64_t value, std::int64_t invoke_ns,
+              std::int64_t response_ns) {
+    events_.push_back(Event{kind, value, invoke_ns, response_ns, thread_});
+  }
+
+  [[nodiscard]] const std::vector<Event>& events() const noexcept {
+    return events_;
+  }
+  void reserve(std::size_t n) { events_.reserve(n); }
+
+ private:
+  std::uint32_t thread_;
+  std::vector<Event> events_;
+};
+
+/// Merge per-thread logs into one history sorted by invoke time.
+[[nodiscard]] std::vector<Event> merge_logs(const std::vector<ThreadLog>& logs);
+
+/// Human-readable rendering for failure diagnostics.
+[[nodiscard]] std::string format_event(const Event& e);
+
+}  // namespace msq::check

@@ -1,0 +1,60 @@
+#include "check/invariants.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace msq::check {
+
+CheckResult check_conservation(const std::vector<Event>& history) {
+  std::unordered_set<std::uint64_t> enqueued;
+  std::unordered_set<std::uint64_t> dequeued;
+  enqueued.reserve(history.size());
+  dequeued.reserve(history.size());
+  for (const Event& e : history) {
+    if (e.kind == OpKind::kEnqueue) {
+      if (!enqueued.insert(e.value).second) {
+        return CheckResult{false, "duplicate enqueue of value " +
+                                      std::to_string(e.value)};
+      }
+    } else if (e.kind == OpKind::kDequeue) {
+      if (!dequeued.insert(e.value).second) {
+        return CheckResult{false,
+                           "value dequeued twice: " + format_event(e)};
+      }
+    }
+  }
+  for (std::uint64_t v : dequeued) {
+    if (!enqueued.contains(v)) {
+      return CheckResult{false,
+                         "value fabricated (dequeued, never enqueued): " +
+                             std::to_string(v)};
+    }
+  }
+  return CheckResult{};
+}
+
+CheckResult check_per_consumer_order(const std::vector<ThreadLog>& logs) {
+  for (const ThreadLog& log : logs) {
+    // Last sequence number seen from each producer by this consumer.
+    std::unordered_map<std::uint32_t, std::uint64_t> last_seq;
+    for (const Event& e : log.events()) {
+      if (e.kind != OpKind::kDequeue) continue;
+      const std::uint32_t producer = value_producer(e.value);
+      const std::uint64_t seq = value_seq(e.value);
+      auto [it, inserted] = last_seq.try_emplace(producer, seq);
+      if (!inserted) {
+        if (seq <= it->second) {
+          return CheckResult{
+              false, "consumer " + std::to_string(e.thread) +
+                         " observed producer " + std::to_string(producer) +
+                         " out of order: seq " + std::to_string(seq) +
+                         " after " + std::to_string(it->second)};
+        }
+        it->second = seq;
+      }
+    }
+  }
+  return CheckResult{};
+}
+
+}  // namespace msq::check

@@ -1,0 +1,47 @@
+// Cheap whole-run invariants used by the stress and property tests, plus
+// the value-encoding convention that makes them checkable.
+//
+// Convention: a test value encodes (producer thread, per-producer sequence
+// number) so that every enqueued value is globally unique and carries its
+// program order.  For any linearizable FIFO queue:
+//   * conservation -- the multiset of dequeued values is a sub-multiset of
+//     the enqueued ones, with no duplicates;
+//   * per-producer order -- values from one producer are dequeued in
+//     increasing sequence order (FIFO applied to the subsequence);
+//   * per-consumer order -- one consumer never sees producer P's items out
+//     of order.
+// These are necessary conditions checkable in O(n) after any run of any
+// size; the linearizability checkers (lin_check.hpp) are the heavyweight
+// complement.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/history.hpp"
+#include "check/lin_check.hpp"
+
+namespace msq::check {
+
+/// value = producer << 40 | seq (supports ~2^40 ops/producer, 2^24 threads).
+[[nodiscard]] constexpr std::uint64_t encode_value(std::uint32_t producer,
+                                                   std::uint64_t seq) noexcept {
+  return (static_cast<std::uint64_t>(producer) << 40) | seq;
+}
+[[nodiscard]] constexpr std::uint32_t value_producer(std::uint64_t value) noexcept {
+  return static_cast<std::uint32_t>(value >> 40);
+}
+[[nodiscard]] constexpr std::uint64_t value_seq(std::uint64_t value) noexcept {
+  return value & ((1ull << 40) - 1);
+}
+
+/// Conservation + per-producer order over a merged history.
+[[nodiscard]] CheckResult check_conservation(const std::vector<Event>& history);
+
+/// Per-consumer order: within each consuming thread's own event sequence,
+/// producer P's values appear in increasing seq order.
+[[nodiscard]] CheckResult check_per_consumer_order(
+    const std::vector<ThreadLog>& logs);
+
+}  // namespace msq::check

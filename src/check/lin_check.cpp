@@ -1,0 +1,199 @@
+#include "check/lin_check.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace msq::check {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Exact checker (Wing-Gong DFS with memoisation)
+// ---------------------------------------------------------------------------
+
+struct ExactSearch {
+  const std::vector<Event>& ops;
+  std::unordered_set<std::uint64_t> visited;
+  std::deque<std::uint64_t> queue;  // spec state: FIFO of values
+
+  explicit ExactSearch(const std::vector<Event>& h) : ops(h) {}
+
+  // Hash of (done-mask, queue contents): two linearization prefixes with the
+  // same remaining ops and same abstract state are interchangeable.
+  [[nodiscard]] std::uint64_t state_key(std::uint64_t done) const {
+    std::uint64_t h = done * 0x9e3779b97f4a7c15ull;
+    for (std::uint64_t v : queue) {
+      h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+
+  bool dfs(std::uint64_t done) {
+    if (done == (ops.size() == 64 ? ~0ull : (1ull << ops.size()) - 1)) {
+      return true;
+    }
+    if (!visited.insert(state_key(done)).second) return false;
+
+    // An undone op may be linearized next only if its invocation precedes
+    // every other undone op's response (otherwise that op happened first).
+    std::int64_t min_response = std::numeric_limits<std::int64_t>::max();
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      if (!(done >> i & 1)) min_response = std::min(min_response, ops[i].response_ns);
+    }
+
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      if (done >> i & 1) continue;
+      const Event& e = ops[i];
+      if (e.invoke_ns > min_response) continue;  // something must precede it
+      switch (e.kind) {
+        case OpKind::kEnqueue:
+          queue.push_back(e.value);
+          if (dfs(done | 1ull << i)) return true;
+          queue.pop_back();
+          break;
+        case OpKind::kDequeue:
+          if (!queue.empty() && queue.front() == e.value) {
+            const std::uint64_t v = queue.front();
+            queue.pop_front();
+            if (dfs(done | 1ull << i)) return true;
+            queue.push_front(v);
+          }
+          break;
+        case OpKind::kDequeueEmpty:
+          if (queue.empty()) {
+            if (dfs(done | 1ull << i)) return true;
+          }
+          break;
+      }
+    }
+    return false;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Scalable checker
+// ---------------------------------------------------------------------------
+
+struct ValueTimeline {
+  const Event* enq = nullptr;
+  const Event* deq = nullptr;
+};
+
+CheckResult fail(std::string message) {
+  return CheckResult{false, std::move(message)};
+}
+
+}  // namespace
+
+CheckResult check_linearizable_exact(const std::vector<Event>& history) {
+  if (history.size() > 64) {
+    return fail("exact checker supports at most 64 operations; use "
+                "check_fifo_order for large histories");
+  }
+  ExactSearch search(history);
+  if (search.dfs(0)) return CheckResult{};
+  std::ostringstream os;
+  os << "no valid linearization exists for history:";
+  for (const Event& e : history) os << "\n  " << format_event(e);
+  return fail(os.str());
+}
+
+CheckResult check_fifo_order(const std::vector<Event>& history) {
+  // --- Value conservation -------------------------------------------------
+  std::unordered_map<std::uint64_t, ValueTimeline> values;
+  values.reserve(history.size());
+  for (const Event& e : history) {
+    if (e.kind == OpKind::kEnqueue) {
+      ValueTimeline& t = values[e.value];
+      if (t.enq != nullptr) {
+        return fail("value " + std::to_string(e.value) +
+                    " enqueued twice; the checker requires distinct values");
+      }
+      t.enq = &e;
+    } else if (e.kind == OpKind::kDequeue) {
+      ValueTimeline& t = values[e.value];
+      if (t.deq != nullptr) {
+        return fail("value " + std::to_string(e.value) +
+                    " dequeued twice: " + format_event(*t.deq) + " and " +
+                    format_event(e));
+      }
+      t.deq = &e;
+    }
+  }
+  for (const auto& [value, t] : values) {
+    if (t.enq == nullptr) {
+      return fail("value " + std::to_string(value) +
+                  " dequeued but never enqueued: " + format_event(*t.deq));
+    }
+    if (t.deq != nullptr && t.deq->response_ns < t.enq->invoke_ns) {
+      return fail("dequeue completed before its enqueue was invoked: " +
+                  format_event(*t.enq) + " vs " + format_event(*t.deq));
+    }
+  }
+
+  // --- FIFO real-time order ------------------------------------------------
+  // Violation: enq(a) strictly precedes enq(b), yet deq(b) strictly precedes
+  // deq(a) (never-dequeued a counts as deq at +infinity: if a is still in
+  // the queue, no later-enqueued b may have been removed strictly after
+  // everything a could linearize behind... i.e. removing b while a stays is
+  // only legal when the enqueues overlap).
+  //
+  // Sweep b in increasing enq invoke; maintain over all a with
+  // enq(a).response < enq(b).invoke (strictly-before set) the maximum of
+  // deq(a).invoke.  b violates iff deq(b).response < that maximum.
+  struct Item {
+    std::int64_t enq_inv, enq_res, deq_inv, deq_res;
+    std::uint64_t value;
+  };
+  std::vector<Item> items;
+  items.reserve(values.size());
+  constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max();
+  for (const auto& [value, t] : values) {
+    items.push_back(Item{t.enq->invoke_ns, t.enq->response_ns,
+                         t.deq != nullptr ? t.deq->invoke_ns : kInf,
+                         t.deq != nullptr ? t.deq->response_ns : kInf, value});
+  }
+  std::vector<const Item*> by_enq_inv(items.size());
+  std::vector<const Item*> by_enq_res(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    by_enq_inv[i] = by_enq_res[i] = &items[i];
+  }
+  std::sort(by_enq_inv.begin(), by_enq_inv.end(),
+            [](const Item* x, const Item* y) { return x->enq_inv < y->enq_inv; });
+  std::sort(by_enq_res.begin(), by_enq_res.end(),
+            [](const Item* x, const Item* y) { return x->enq_res < y->enq_res; });
+
+  std::size_t added = 0;
+  std::int64_t max_deq_inv = std::numeric_limits<std::int64_t>::min();
+  const Item* max_holder = nullptr;
+  for (const Item* b : by_enq_inv) {
+    while (added < by_enq_res.size() && by_enq_res[added]->enq_res < b->enq_inv) {
+      if (by_enq_res[added]->deq_inv > max_deq_inv) {
+        max_deq_inv = by_enq_res[added]->deq_inv;
+        max_holder = by_enq_res[added];
+      }
+      ++added;
+    }
+    if (max_holder != nullptr && b->deq_res < max_deq_inv) {
+      std::ostringstream os;
+      os << "FIFO order violated: enq(" << max_holder->value
+         << ") strictly precedes enq(" << b->value << ") but deq(" << b->value
+         << ") [resp " << b->deq_res << "] strictly precedes deq("
+         << max_holder->value << ") [inv ";
+      if (max_holder->deq_inv == kInf) {
+        os << "never dequeued";
+      } else {
+        os << max_holder->deq_inv;
+      }
+      os << "]";
+      return fail(os.str());
+    }
+  }
+  return CheckResult{};
+}
+
+}  // namespace msq::check

@@ -1,0 +1,46 @@
+// Linearizability checking against the sequential FIFO-queue specification
+// (paper §3.2: "an implementation ... is linearizable if it can always give
+// an external observer ... the illusion that each of these operations takes
+// effect instantaneously at some point between its invocation and its
+// response" [Herlihy & Wing]).
+//
+// Two checkers with different contracts:
+//
+//  * check_linearizable_exact -- Wing-Gong style DFS over linearization
+//    orders with memoisation.  Sound AND complete, exponential worst case:
+//    use on small histories (sim schedules, targeted tests; <= ~40 ops).
+//
+//  * check_fifo_order -- scalable (O(n log n)) necessary-condition checker
+//    for large stress histories with DISTINCT values: value conservation
+//    (each dequeue matches exactly one enqueue, no duplicates, no
+//    fabrication), no dequeue-before-enqueue, and FIFO real-time order (if
+//    enq(a) strictly precedes enq(b), deq(a) must not strictly follow
+//    deq(b), counting "never dequeued" as dequeued at +infinity).  Sound for
+//    rejection: any reported violation is a real linearizability bug; it
+//    does not attempt the (rarely violated alone) empty-dequeue condition.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/history.hpp"
+
+namespace msq::check {
+
+struct CheckResult {
+  bool ok = true;
+  std::string diagnosis;  // first violation found, human-readable
+
+  explicit operator bool() const noexcept { return ok; }
+};
+
+/// Exact decision procedure; `history` must have <= 64 operations.
+[[nodiscard]] CheckResult check_linearizable_exact(
+    const std::vector<Event>& history);
+
+/// Scalable necessary-condition checker; values must be distinct across
+/// enqueues (the test harness guarantees this by encoding thread + seq).
+[[nodiscard]] CheckResult check_fifo_order(const std::vector<Event>& history);
+
+}  // namespace msq::check

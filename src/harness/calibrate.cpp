@@ -1,0 +1,29 @@
+#include "harness/calibrate.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "port/clock.hpp"
+#include "port/spin_work.hpp"
+
+namespace msq::harness {
+
+double spin_iters_per_us() {
+  constexpr std::uint64_t kIters = 2'000'000;
+  std::array<double, 5> trials{};
+  for (double& trial : trials) {
+    const std::int64_t t0 = port::now_ns();
+    port::spin_work(kIters);
+    const std::int64_t t1 = port::now_ns();
+    trial = static_cast<double>(kIters) * 1e3 / static_cast<double>(t1 - t0);
+  }
+  std::sort(trials.begin(), trials.end());
+  return trials[trials.size() / 2];
+}
+
+std::uint64_t spin_iters_for_us(double us) {
+  static const double iters_per_us = spin_iters_per_us();
+  return static_cast<std::uint64_t>(us * iters_per_us);
+}
+
+}  // namespace msq::harness

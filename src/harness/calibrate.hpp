@@ -1,0 +1,21 @@
+// Calibration of the "other work" spin loop.
+//
+// The paper inserts ~6 microseconds of empty-loop spinning between queue
+// operations and later subtracts "the time required for one processor to
+// complete the 'other work' from the total time reported in the figures".
+// To do the same we must know how many spin_work() iterations one
+// microsecond is on this machine.
+#pragma once
+
+#include <cstdint>
+
+namespace msq::harness {
+
+/// Measured iterations-per-microsecond of port::spin_work on this host.
+/// Deterministic enough for benchmarking (median of several trials).
+[[nodiscard]] double spin_iters_per_us();
+
+/// Iterations equivalent to `us` microseconds (the paper's 6).
+[[nodiscard]] std::uint64_t spin_iters_for_us(double us);
+
+}  // namespace msq::harness

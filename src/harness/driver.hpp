@@ -1,0 +1,141 @@
+// The paper's benchmark loop (section 4), generalised over queue type.
+//
+// "All the experiments employ an initially-empty queue to which processes
+//  perform a series of enqueue and dequeue operations.  Each process
+//  enqueues an item, does 'other work', dequeues an item, does 'other
+//  work', and repeats.  With p processes, each process executes this loop
+//  floor(10^6/p) or ceil(10^6/p) times, for a total of one million enqueues
+//  and dequeues. ... We subtracted the time required for one processor to
+//  complete the 'other work' from the total time."
+//
+// The driver reproduces that loop with std::jthread workers, optionally
+// recording an operation history for the linearizability checkers.  On this
+// host (a single hardware core) any p > 1 run is inherently multiprogrammed;
+// the simulator (src/sim) provides the dedicated-machine curves.
+#pragma once
+
+#include <atomic>
+#include <barrier>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "check/history.hpp"
+#include "check/invariants.hpp"
+#include "port/clock.hpp"
+#include "port/cpu.hpp"
+#include "port/spin_work.hpp"
+#include "queues/queue_concept.hpp"
+
+namespace msq::harness {
+
+struct WorkloadConfig {
+  std::uint32_t threads = 2;
+  std::uint64_t total_pairs = 1'000'000;  // the paper's 10^6
+  std::uint64_t other_work_iters = 0;     // spin between ops (see calibrate)
+  bool record_history = false;            // per-op timestamps + event logs
+};
+
+struct WorkloadResult {
+  double elapsed_seconds = 0;  // wall time of the parallel phase
+  double net_seconds = 0;      // elapsed minus one processor's "other work"
+  std::uint64_t enqueues = 0;
+  std::uint64_t dequeues = 0;        // successful
+  std::uint64_t empty_dequeues = 0;  // observed-empty results
+  std::uint64_t enqueue_failures = 0;  // pool exhausted (retried)
+  std::vector<check::ThreadLog> logs;  // filled iff record_history
+};
+
+/// Time for one processor to execute `pairs` iterations of the loop's two
+/// "other work" spins (measured, memoised per iteration count).
+[[nodiscard]] double other_work_seconds(std::uint64_t iters_per_spin,
+                                        double pairs);
+
+/// Run the paper's loop against `queue`.  The queue must hold std::uint64_t
+/// values (the harness encodes producer/sequence in them).
+template <queues::ConcurrentQueue Q>
+WorkloadResult run_workload(Q& queue, const WorkloadConfig& config) {
+  const std::uint32_t p = config.threads;
+  WorkloadResult result;
+  result.logs.reserve(p);
+  for (std::uint32_t t = 0; t < p; ++t) result.logs.emplace_back(t);
+
+  std::atomic<std::uint64_t> enqueues{0};
+  std::atomic<std::uint64_t> dequeues{0};
+  std::atomic<std::uint64_t> empty_dequeues{0};
+  std::atomic<std::uint64_t> enqueue_failures{0};
+  std::barrier start_barrier(static_cast<std::ptrdiff_t>(p) + 1);
+
+  auto worker = [&](std::uint32_t thread_id) {
+    // floor or ceil of total/p so the totals add up exactly, as in the paper.
+    const std::uint64_t pairs =
+        config.total_pairs / p + (thread_id < config.total_pairs % p ? 1 : 0);
+    check::ThreadLog& log = result.logs[thread_id];
+    if (config.record_history) log.reserve(2 * pairs);
+
+    std::uint64_t local_enq = 0, local_deq = 0, local_empty = 0, local_fail = 0;
+    start_barrier.arrive_and_wait();
+
+    for (std::uint64_t i = 0; i < pairs; ++i) {
+      // enqueue an item ...
+      const std::uint64_t value = check::encode_value(thread_id, i);
+      const std::int64_t enq_inv = config.record_history ? port::now_ns() : 0;
+      while (!queue.try_enqueue(value)) {
+        ++local_fail;  // pool exhausted: another thread must dequeue first
+        port::cpu_relax();
+      }
+      ++local_enq;
+      if (config.record_history) {
+        log.record(check::OpKind::kEnqueue, value, enq_inv, port::now_ns());
+      }
+      // ... do "other work" ...
+      port::spin_work(config.other_work_iters);
+      // ... dequeue an item ...
+      std::uint64_t out = 0;
+      const std::int64_t deq_inv = config.record_history ? port::now_ns() : 0;
+      const bool got = queue.try_dequeue(out);
+      if (got) {
+        ++local_deq;
+      } else {
+        ++local_empty;
+      }
+      if (config.record_history) {
+        log.record(got ? check::OpKind::kDequeue : check::OpKind::kDequeueEmpty,
+                   out, deq_inv, port::now_ns());
+      }
+      // ... do "other work", and repeat.
+      port::spin_work(config.other_work_iters);
+    }
+
+    enqueues.fetch_add(local_enq, std::memory_order_relaxed);
+    dequeues.fetch_add(local_deq, std::memory_order_relaxed);
+    empty_dequeues.fetch_add(local_empty, std::memory_order_relaxed);
+    enqueue_failures.fetch_add(local_fail, std::memory_order_relaxed);
+  };
+
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(p);
+    for (std::uint32_t t = 0; t < p; ++t) threads.emplace_back(worker, t);
+    start_barrier.arrive_and_wait();
+    const std::int64_t t0 = port::now_ns();
+    threads.clear();  // join all
+    const std::int64_t t1 = port::now_ns();
+    result.elapsed_seconds = port::ns_to_seconds(t1 - t0);
+  }
+
+  result.enqueues = enqueues.load();
+  result.dequeues = dequeues.load();
+  result.empty_dequeues = empty_dequeues.load();
+  result.enqueue_failures = enqueue_failures.load();
+
+  // Subtract one processor's worth of "other work" (paper section 4).
+  const double pairs_per_proc =
+      static_cast<double>(config.total_pairs) / static_cast<double>(p);
+  result.net_seconds =
+      result.elapsed_seconds -
+      other_work_seconds(config.other_work_iters, pairs_per_proc);
+  return result;
+}
+
+}  // namespace msq::harness

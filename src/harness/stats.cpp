@@ -1,0 +1,27 @@
+#include "harness/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace msq::harness {
+
+Summary summarize(std::vector<double> samples) {
+  Summary s;
+  s.n = samples.size();
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  s.min = samples.front();
+  s.max = samples.back();
+  s.median = samples[samples.size() / 2];
+  double sum = 0;
+  for (double x : samples) sum += x;
+  s.mean = sum / static_cast<double>(samples.size());
+  double var = 0;
+  for (double x : samples) var += (x - s.mean) * (x - s.mean);
+  s.stddev = samples.size() > 1
+                 ? std::sqrt(var / static_cast<double>(samples.size() - 1))
+                 : 0.0;
+  return s;
+}
+
+}  // namespace msq::harness

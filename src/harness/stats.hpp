@@ -1,0 +1,20 @@
+// Small statistics helpers for repeated benchmark runs.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace msq::harness {
+
+struct Summary {
+  double mean = 0;
+  double stddev = 0;
+  double min = 0;
+  double max = 0;
+  double median = 0;
+  std::size_t n = 0;
+};
+
+[[nodiscard]] Summary summarize(std::vector<double> samples);
+
+}  // namespace msq::harness

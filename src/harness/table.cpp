@@ -1,0 +1,70 @@
+#include "harness/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <ostream>
+
+namespace msq::harness {
+
+SeriesTable::SeriesTable(std::string title, std::string x_label)
+    : title_(std::move(title)), x_label_(std::move(x_label)) {}
+
+std::size_t SeriesTable::add_series(std::string name) {
+  series_.push_back(std::move(name));
+  for (auto& row : rows_) {
+    row.resize(series_.size(), std::numeric_limits<double>::quiet_NaN());
+  }
+  return series_.size() - 1;
+}
+
+void SeriesTable::add_row(double x) {
+  xs_.push_back(x);
+  rows_.emplace_back(series_.size(), std::numeric_limits<double>::quiet_NaN());
+}
+
+void SeriesTable::set(std::size_t col, double value) {
+  rows_.back().at(col) = value;
+}
+
+void SeriesTable::print(std::ostream& os) const {
+  os << "== " << title_ << " ==\n";
+  std::size_t longest = 12;
+  for (const auto& name : series_) longest = std::max(longest, name.size());
+  const int w = static_cast<int>(longest) + 2;
+  os << std::left << std::setw(8) << x_label_;
+  for (const auto& name : series_) os << std::right << std::setw(w) << name;
+  os << '\n';
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    os << std::left << std::setw(8) << xs_[r];
+    for (double v : rows_[r]) {
+      os << std::right << std::setw(w);
+      if (std::isnan(v)) {
+        os << "-";
+      } else {
+        os << std::fixed << std::setprecision(4) << v;
+      }
+      os << std::defaultfloat;
+    }
+    os << '\n';
+  }
+  os.flush();
+}
+
+void SeriesTable::print_csv(std::ostream& os) const {
+  os << x_label_;
+  for (const auto& name : series_) os << ',' << name;
+  os << '\n';
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    os << xs_[r];
+    for (double v : rows_[r]) {
+      os << ',';
+      if (!std::isnan(v)) os << v;
+    }
+    os << '\n';
+  }
+  os.flush();
+}
+
+}  // namespace msq::harness

@@ -1,0 +1,44 @@
+// Console table / CSV rendering for the figure-reproduction benches.
+//
+// Each figure in the paper is a family of curves: net execution time vs.
+// number of processors, one curve per algorithm.  SeriesTable collects
+// exactly that shape and prints it as an aligned text table (the repo's
+// equivalent of the figure) and optionally as CSV for external plotting.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace msq::harness {
+
+class SeriesTable {
+ public:
+  /// `x_label` names the sweep variable (e.g. "procs").
+  explicit SeriesTable(std::string title, std::string x_label);
+
+  /// Register a curve; returns its column id.
+  std::size_t add_series(std::string name);
+
+  /// Add a sweep point (row); values are filled via set().
+  void add_row(double x);
+
+  /// Set series `col` at the most recent row.
+  void set(std::size_t col, double value);
+
+  /// Aligned human-readable table.
+  void print(std::ostream& os) const;
+
+  /// Machine-readable CSV (header + rows).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::string x_label_;
+  std::vector<std::string> series_;
+  std::vector<double> xs_;
+  std::vector<std::vector<double>> rows_;  // rows_[row][col], NaN = missing
+};
+
+}  // namespace msq::harness

@@ -1,0 +1,78 @@
+// Non-blocking free list: Treiber's stack [21] over pool indices.
+//
+// Paper, section 2: "We use Treiber's simple and efficient non-blocking
+// stack algorithm to implement a non-blocking free list."
+//
+// The stack links nodes through the same `next` field the queue uses (a
+// node is either in the queue or in the free list, never both), and the
+// counted top pointer defends against ABA exactly as Head/Tail do.
+//
+// Node requirements: a member `next` of type tagged::AtomicTagged.
+#pragma once
+
+#include <cstdint>
+
+#include "mem/node_pool.hpp"
+#include "tagged/atomic_tagged.hpp"
+#include "tagged/tagged_index.hpp"
+
+namespace msq::mem {
+
+template <typename Node>
+class FreeList {
+ public:
+  /// Builds a free list containing every node of `pool`.
+  explicit FreeList(NodePool<Node>& pool) : pool_(pool) {
+    for (std::uint32_t i = 0; i < pool.capacity(); ++i) {
+      push(i);
+    }
+  }
+
+  FreeList(const FreeList&) = delete;
+  FreeList& operator=(const FreeList&) = delete;
+
+  /// Pop a node index, or kNullIndex if the pool is exhausted.
+  /// Lock-free: fails or succeeds in a bounded number of *uncontended*
+  /// steps; a retry implies another thread completed a push or pop.
+  [[nodiscard]] std::uint32_t try_allocate() noexcept {
+    for (;;) {
+      const tagged::TaggedIndex top = top_.load();
+      if (top.is_null()) return tagged::kNullIndex;
+      const tagged::TaggedIndex next = pool_[top.index()].next.load();
+      if (top_.compare_and_swap(top, top.successor(next.index()))) {
+        return top.index();
+      }
+    }
+  }
+
+  /// Push a node back.  The node must have come from this pool and must not
+  /// be reachable from any shared structure.
+  void free(std::uint32_t index) noexcept { push(index); }
+
+  /// Number of nodes currently in the free list.  O(n); for tests and the
+  /// memory-exhaustion experiment only -- the count is naturally racy.
+  [[nodiscard]] std::size_t unsafe_size() const noexcept {
+    std::size_t n = 0;
+    for (tagged::TaggedIndex it = top_.load(); !it.is_null();
+         it = pool_[it.index()].next.load()) {
+      ++n;
+    }
+    return n;
+  }
+
+ private:
+  void push(std::uint32_t index) noexcept {
+    for (;;) {
+      const tagged::TaggedIndex top = top_.load();
+      // Link the node above the current top.  The node is private to us
+      // here, so a plain store is enough.
+      pool_[index].next.store(tagged::TaggedIndex(top.index(), 0));
+      if (top_.compare_and_swap(top, top.successor(index))) return;
+    }
+  }
+
+  NodePool<Node>& pool_;
+  tagged::AtomicTagged top_;
+};
+
+}  // namespace msq::mem

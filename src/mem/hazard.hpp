@@ -1,0 +1,239 @@
+// Hazard-pointer safe memory reclamation (Michael, 2004).
+//
+// The paper's own reclamation story is the counted-pointer + free-list
+// scheme (nodes are type-stable and pool-bounded).  Hazard pointers are the
+// historically-real successor -- invented by the same first author precisely
+// to free queue nodes back to the general allocator without double-word CAS.
+// We include them as the paper's "future work made concrete": MsQueueHp in
+// queues/ms_queue_hp.hpp uses this domain, and bench/ablate_reclaim compares
+// the two schemes.
+//
+// Design: a fixed table of per-thread slots, each with kHazardsPerSlot
+// single-writer hazard cells.  retire() buffers nodes in a per-(thread,
+// domain) entry and scans the table once the buffer exceeds a threshold; a
+// node is reclaimed only when no published hazard references it.
+//
+// Lifetime handling: threads bind to a domain lazily.  The binding entries
+// live in thread-local storage but are registered with the domain under a
+// global registry mutex, so that (a) a thread exiting flushes its buffered
+// nodes back to the domain and releases its slot, and (b) a domain being
+// destroyed detaches surviving threads' entries safely (they see a null
+// domain and become inert).  The mutex is touched only at bind/teardown;
+// protect/retire/scan stay lock-free with respect to each other.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "port/cpu.hpp"
+
+namespace msq::mem {
+
+class HazardDomain {
+ public:
+  static constexpr std::size_t kMaxThreads = 128;
+  static constexpr std::size_t kHazardsPerSlot = 2;  // MS queue needs 2
+
+  HazardDomain() noexcept = default;
+  HazardDomain(const HazardDomain&) = delete;
+  HazardDomain& operator=(const HazardDomain&) = delete;
+
+  ~HazardDomain() {
+    // Detach any threads still bound (they must no longer be *using* the
+    // domain -- standard precondition), reclaiming what they buffered.
+    std::scoped_lock lock(registry_mutex());
+    for (Entry* entry : entries_) {
+      for (auto& r : entry->retired) r.deleter(r.ptr);
+      entry->retired.clear();
+      entry->domain = nullptr;  // entry becomes inert
+    }
+    for (auto& r : orphans_) r.deleter(r.ptr);
+  }
+
+  /// Publish `ptr` in hazard cell `i` of the calling thread.  The caller
+  /// must re-validate its source pointer afterwards (protect() does both).
+  void set_hazard(std::size_t i, const void* ptr) {
+    slot().hp[i].store(const_cast<void*>(ptr), std::memory_order_seq_cst);
+  }
+
+  void clear_hazard(std::size_t i) {
+    slot().hp[i].store(nullptr, std::memory_order_release);
+  }
+
+  /// Acquire-load `src` and publish it in hazard cell `i`, retrying until
+  /// the published value is still current (the standard HP protocol).
+  template <typename T>
+  [[nodiscard]] T* protect(std::size_t i, const std::atomic<T*>& src) {
+    T* p = src.load(std::memory_order_acquire);
+    for (;;) {
+      set_hazard(i, p);
+      T* q = src.load(std::memory_order_acquire);
+      if (q == p) return p;
+      p = q;
+    }
+  }
+
+  /// Hand a detached node to the domain; it is deleted once no hazard
+  /// references it.
+  template <typename T>
+  void retire(T* ptr) {
+    retire(ptr, [](void* p) { delete static_cast<T*>(p); });
+  }
+
+  void retire(void* ptr, void (*deleter)(void*)) {
+    Entry& e = entry();
+    e.retired.push_back(Retired{ptr, deleter});
+    if (e.retired.size() >= scan_threshold()) scan();
+  }
+
+  /// Reclaim every retired node not currently protected.  Called
+  /// automatically by retire(); public for tests and shutdown.
+  void scan() {
+    // ORDERING MATTERS: take possession of the orphaned nodes BEFORE
+    // collecting the hazard snapshot.  The HP safety argument is "a node
+    // retired before the snapshot is either unprotected or its hazard is
+    // visible in the snapshot".  Orphans are pushed by exiting threads at
+    // arbitrary times; grabbing them after the snapshot would admit nodes
+    // retired AFTER it -- and a hazard published (and validated) between
+    // snapshot and retirement would be missed, freeing a node another
+    // thread is dereferencing.  This exact use-after-free was caught by
+    // ASAN in the contended-lifecycle stress; regression:
+    // tests/hazard_test.cpp ScanOrderingVsOrphans.
+    std::vector<Retired> orphans;
+    {
+      std::scoped_lock lock(registry_mutex());
+      orphans.swap(orphans_);
+    }
+
+    std::vector<void*> hazards;
+    hazards.reserve(kMaxThreads * kHazardsPerSlot);
+    for (auto& s : slots_) {
+      if (!s.active.load(std::memory_order_acquire)) continue;
+      for (const auto& hp : s.hp) {
+        if (void* p = hp.load(std::memory_order_acquire)) hazards.push_back(p);
+      }
+    }
+    auto is_protected = [&](void* p) {
+      for (void* h : hazards) {
+        if (h == p) return true;
+      }
+      return false;
+    };
+
+    auto sweep = [&](std::vector<Retired>& retired) {
+      std::size_t keep = 0;
+      for (auto& r : retired) {
+        if (is_protected(r.ptr)) {
+          retired[keep++] = r;
+        } else {
+          r.deleter(r.ptr);
+        }
+      }
+      retired.resize(keep);
+    };
+
+    sweep(entry().retired);
+    sweep(orphans);
+    if (!orphans.empty()) {
+      std::scoped_lock lock(registry_mutex());
+      orphans_.insert(orphans_.end(), orphans.begin(), orphans.end());
+    }
+  }
+
+  /// Retired nodes buffered by the calling thread (tests/metrics).
+  [[nodiscard]] std::size_t retired_count() { return entry().retired.size(); }
+
+ private:
+  struct Slot {
+    std::atomic<void*> hp[kHazardsPerSlot]{};
+    std::atomic<bool> active{false};
+    char pad[port::kCacheLine]{};
+  };
+
+  struct Retired {
+    void* ptr;
+    void (*deleter)(void*);
+  };
+
+  // One binding of (thread, domain).  Owned by thread-local storage;
+  // registered with the domain so either side can sever the link first.
+  struct Entry {
+    HazardDomain* domain = nullptr;
+    Slot* slot = nullptr;
+    std::vector<Retired> retired;
+
+    ~Entry() {
+      std::scoped_lock lock(registry_mutex());
+      if (domain == nullptr) return;  // domain died first
+      for (auto& hp : slot->hp) hp.store(nullptr, std::memory_order_release);
+      domain->orphans_.insert(domain->orphans_.end(), retired.begin(),
+                              retired.end());
+      std::erase(domain->entries_, this);
+      slot->active.store(false, std::memory_order_release);
+    }
+  };
+
+  struct TlsEntries {
+    // A thread rarely touches more than one or two domains; linear scan.
+    std::vector<std::unique_ptr<Entry>> entries;
+  };
+
+  // One mutex for all domains: Entry teardown cannot take a per-domain
+  // mutex because the domain pointer may be dangling until checked under
+  // the lock that ~HazardDomain() also takes.
+  static std::mutex& registry_mutex() {
+    static std::mutex m;
+    return m;
+  }
+
+  Entry& entry() {
+    thread_local TlsEntries tls;
+    for (auto& e : tls.entries) {
+      if (e->domain == this) return *e;
+    }
+    auto fresh = std::make_unique<Entry>();
+    fresh->domain = this;
+    fresh->slot = acquire_slot();
+    {
+      std::scoped_lock lock(registry_mutex());
+      entries_.push_back(fresh.get());
+    }
+    tls.entries.push_back(std::move(fresh));
+    return *tls.entries.back();
+  }
+
+  Slot& slot() { return *entry().slot; }
+
+  Slot* acquire_slot() {
+    for (;;) {
+      for (auto& s : slots_) {
+        bool expected = false;
+        if (s.active.compare_exchange_strong(expected, true,
+                                             std::memory_order_acq_rel)) {
+          return &s;
+        }
+      }
+      port::cpu_relax();  // all slots busy: wait for a thread to exit
+    }
+  }
+
+  [[nodiscard]] static constexpr std::size_t scan_threshold() noexcept {
+    // Classic HP bound: scanning amortises once R >= H * 2.
+    return kMaxThreads * kHazardsPerSlot * 2;
+  }
+
+  Slot slots_[kMaxThreads];
+  std::vector<Entry*> entries_;     // guarded by registry_mutex()
+  std::vector<Retired> orphans_;    // guarded by registry_mutex()
+};
+
+/// Process-wide domain used by MsQueueHp by default.
+inline HazardDomain& default_domain() {
+  static HazardDomain domain;
+  return domain;
+}
+
+}  // namespace msq::mem

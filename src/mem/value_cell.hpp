@@ -1,0 +1,51 @@
+// Race-tolerant value slot for the lock-free queues.
+//
+// In the paper's dequeue, the value is read *before* the CAS that removes
+// the node ("Read value before CAS, otherwise another dequeue might free the
+// next node").  A losing dequeuer may therefore read a node that a winning
+// dequeuer has already recycled and that an enqueuer is concurrently
+// refilling.  The algorithm discards the torn value (the CAS fails), but in
+// C++ the racing read itself would be undefined behaviour on a plain field.
+// ValueCell makes that read well-defined (and TSAN-clean) by storing the
+// value in a relaxed std::atomic word.
+//
+// Consequence: the lock-free queues require trivially-copyable values of at
+// most 8 bytes (store pointers or indices for anything larger).  The
+// lock-based queues have no such restriction.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+namespace msq::mem {
+
+template <typename T>
+class ValueCell {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "lock-free queues require trivially copyable values");
+  static_assert(sizeof(T) <= 8,
+                "lock-free queues require values of at most 8 bytes; "
+                "store a pointer or index for larger payloads");
+
+ public:
+  void store(T value) noexcept {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &value, sizeof(T));
+    bits_.store(bits, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] T load() const noexcept {
+    const std::uint64_t bits = bits_.load(std::memory_order_relaxed);
+    T value;
+    std::memcpy(&value, &bits, sizeof(T));
+    return value;
+  }
+
+ private:
+  std::atomic<std::uint64_t> bits_{0};
+};
+
+}  // namespace msq::mem

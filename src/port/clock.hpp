@@ -1,0 +1,25 @@
+// Monotonic timing used by the harness.  The paper reports "net elapsed time
+// in seconds for one million enqueue/dequeue pairs"; we measure with
+// steady_clock and convert to the same unit.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace msq::port {
+
+using Clock = std::chrono::steady_clock;
+
+/// Nanoseconds since an arbitrary epoch; monotonic.
+inline std::int64_t now_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
+/// Convert a nanosecond interval to the paper's reporting unit (seconds).
+inline double ns_to_seconds(std::int64_t ns) noexcept {
+  return static_cast<double>(ns) * 1e-9;
+}
+
+}  // namespace msq::port

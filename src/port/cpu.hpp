@@ -1,0 +1,39 @@
+// Low-level CPU portability helpers: cache-line geometry, spin-wait hinting.
+//
+// The paper's testbed was a 12-node SGI Challenge (MIPS R4000, LL/SC).  We
+// target x86-64 (lock cmpxchg / cmpxchg16b); everything architecture-specific
+// in the library funnels through this header.
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace msq::port {
+
+/// Size of a coherence granule.  Shared variables that must not false-share
+/// (Head, Tail, the two locks of the two-lock queue) are padded to this.
+/// Pinned to 64 (x86-64, and a safe choice elsewhere) rather than
+/// std::hardware_destructive_interference_size, whose value shifts with
+/// compiler tuning flags and would silently change our ABI.
+inline constexpr std::size_t kCacheLine = 64;
+
+/// Polite busy-wait hint.  On x86 this is `pause`, which de-pipelines the
+/// spin loop and releases the sibling hyperthread; elsewhere a compiler
+/// barrier keeps the loop from being optimised away.
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  asm volatile("" ::: "memory");
+#endif
+}
+
+/// Wrapper that places T alone on its own cache line.
+template <typename T>
+struct alignas(kCacheLine) CacheAligned {
+  T value{};
+};
+
+}  // namespace msq::port

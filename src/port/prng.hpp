@@ -1,0 +1,54 @@
+// Small fast PRNG (xoshiro256**) used for randomised backoff jitter, test
+// schedules and workload value streams.  Deterministic given a seed, cheap
+// enough to sit inside a benchmark inner loop, and header-only so the
+// simulator can embed one per virtual process.
+#pragma once
+
+#include <cstdint>
+
+namespace msq::port {
+
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Xoshiro256(std::uint64_t seed = 0x9e3779b97f4a7c15ull) noexcept {
+    // SplitMix64 expansion of the seed, as recommended by the xoshiro authors.
+    std::uint64_t z = seed;
+    for (auto& word : state_) {
+      z += 0x9e3779b97f4a7c15ull;
+      std::uint64_t x = z;
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+      word = x ^ (x >> 31);
+    }
+  }
+
+  constexpr std::uint64_t operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform value in [0, bound).  Bias is negligible for bound << 2^64.
+  constexpr std::uint64_t below(std::uint64_t bound) noexcept {
+    return (*this)() % bound;
+  }
+
+  static constexpr std::uint64_t min() noexcept { return 0; }
+  static constexpr std::uint64_t max() noexcept { return ~0ull; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace msq::port

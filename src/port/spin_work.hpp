@@ -1,0 +1,19 @@
+// The paper's "other work": ~6us of spinning in an empty loop between queue
+// operations, which "serves to make the experiments more realistic by
+// preventing long runs of queue operations by the same process".  We provide
+// the same device: an opaque spin of N iterations, plus a calibration helper
+// (harness/calibrate.hpp) that converts microseconds to iterations.
+#pragma once
+
+#include <cstdint>
+
+namespace msq::port {
+
+/// Spin for `iters` iterations of work the optimiser cannot elide.
+inline void spin_work(std::uint64_t iters) noexcept {
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    asm volatile("" ::: "memory");
+  }
+}
+
+}  // namespace msq::port

@@ -1,0 +1,193 @@
+// Function-shipping queue: operations are executed by a dedicated manager
+// thread on a private (unsynchronised) queue; clients ship requests and
+// wait for replies.
+//
+// Paper, section 5: the authors' larger project compares "single locks,
+// data-structure-specific multilock algorithms, general-purpose and
+// special-purpose non-blocking algorithms, and FUNCTION SHIPPING TO A
+// CENTRALIZED MANAGER (a valid technique for situations in which remote
+// access latencies dominate computation time)".  This is that fourth
+// mechanism, included so the comparison the paper sketches can actually be
+// run (bench/micro_ops).
+//
+// Design: each client thread owns a request slot (acquired lazily, like a
+// hazard-pointer slot).  A request publishes {op, value} with a sequence
+// handshake; the manager thread scans slots, applies operations to a plain
+// ring buffer, and publishes {result, ok} back.  Clients spin on their own
+// slot only, so the coherence traffic is one line per request and one per
+// reply -- the "remote access" of the shipping model.
+//
+// Progress: blocking by construction (everything waits on the manager),
+// but immune to client preemption: a preempted CLIENT delays only itself.
+// Only manager preemption stalls the structure -- which is why the paper
+// frames shipping as a scheduling-aware alternative worth comparing
+// against non-blocking algorithms.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+
+#include "port/cpu.hpp"
+#include "queues/queue_concept.hpp"
+
+namespace msq::queues {
+
+template <typename T>
+class FunctionShippingQueue {
+ public:
+  using value_type = T;
+  static constexpr QueueTraits traits{
+      .progress = Progress::kBlocking,
+      .mpmc = true,
+      .pool_backed = true,
+      .linearizable = true,  // the manager is a total order
+  };
+
+  explicit FunctionShippingQueue(std::uint32_t capacity)
+      : capacity_(capacity),
+        ring_(std::make_unique<T[]>(capacity)),
+        manager_([this](const std::stop_token& stop) { manage(stop); }) {}
+
+  ~FunctionShippingQueue() {
+    manager_.request_stop();
+    manager_.join();
+  }
+
+  FunctionShippingQueue(const FunctionShippingQueue&) = delete;
+  FunctionShippingQueue& operator=(const FunctionShippingQueue&) = delete;
+
+  bool try_enqueue(T value) { return ship(Op::kEnqueue, std::move(value)).ok; }
+
+  bool try_dequeue(T& out) {
+    Reply reply = ship(Op::kDequeue, T{});
+    if (reply.ok) out = std::move(reply.value);
+    return reply.ok;
+  }
+
+  [[nodiscard]] std::optional<T> try_dequeue() {
+    T value;
+    if (try_dequeue(value)) return value;
+    return std::nullopt;
+  }
+
+ private:
+  static constexpr std::size_t kMaxClients = 64;
+
+  enum class Op : std::uint8_t { kEnqueue, kDequeue };
+
+  // One request/reply mailbox per client thread.  seq odd = request
+  // pending, even = reply ready; the client bumps to odd, the manager back
+  // to even.  Value and ok are protected by the seq handshake
+  // (release/acquire on seq).
+  struct alignas(port::kCacheLine) Slot {
+    std::atomic<std::uint64_t> seq{0};
+    std::atomic<bool> active{false};
+    Op op = Op::kEnqueue;
+    T value{};
+    bool ok = false;
+  };
+
+  struct Reply {
+    bool ok;
+    T value;
+  };
+
+  Reply ship(Op op, T value) {
+    Slot& slot = my_slot();
+    const std::uint64_t request_seq = slot.seq.load(std::memory_order_relaxed) + 1;
+    slot.op = op;
+    slot.value = std::move(value);
+    slot.seq.store(request_seq, std::memory_order_release);  // odd: pending
+    // Short local spin for the fast path, then yield the processor: on an
+    // oversubscribed machine the manager needs our timeslice to reply.
+    int spins = 0;
+    while (slot.seq.load(std::memory_order_acquire) != request_seq + 1) {
+      if (++spins < 64) {
+        port::cpu_relax();
+      } else {
+        std::this_thread::yield();
+      }
+    }
+    return Reply{slot.ok, std::move(slot.value)};
+  }
+
+  void manage(const std::stop_token& stop) {
+    while (!stop.stop_requested()) {
+      bool did_work = false;
+      for (auto& slot : slots_) {
+        if (!slot.active.load(std::memory_order_acquire)) continue;
+        const std::uint64_t seq = slot.seq.load(std::memory_order_acquire);
+        if ((seq & 1) == 0) continue;  // no pending request
+        apply(slot);
+        slot.seq.store(seq + 1, std::memory_order_release);  // even: reply
+        did_work = true;
+      }
+      if (!did_work) std::this_thread::yield();
+    }
+  }
+
+  void apply(Slot& slot) {
+    if (slot.op == Op::kEnqueue) {
+      if (size_ == capacity_) {
+        slot.ok = false;
+        return;
+      }
+      ring_[(head_ + size_) % capacity_] = std::move(slot.value);
+      ++size_;
+      slot.ok = true;
+    } else {
+      if (size_ == 0) {
+        slot.ok = false;
+        return;
+      }
+      slot.value = std::move(ring_[head_]);
+      head_ = (head_ + 1) % capacity_;
+      --size_;
+      slot.ok = true;
+    }
+  }
+
+  Slot& my_slot() {
+    // Keyed by a unique per-queue id, never by address: a destroyed queue's
+    // address can be reused by a new instance, and a stale cache hit would
+    // bypass slot registration (the manager would ignore the request).
+    thread_local std::unordered_map<std::uint64_t, Slot*> cache;
+    Slot*& cached = cache[id_];
+    if (cached == nullptr) {
+      for (auto& slot : slots_) {
+        bool expected = false;
+        if (slot.active.compare_exchange_strong(expected, true,
+                                                std::memory_order_acq_rel)) {
+          cached = &slot;
+          break;
+        }
+      }
+      // More than kMaxClients concurrent client threads is a configuration
+      // error for this mechanism; fail loudly rather than corrupt.
+      if (cached == nullptr) std::terminate();
+    }
+    return *cached;
+  }
+
+  // Manager-private state: no synchronisation, the whole point of shipping.
+  std::uint32_t capacity_;
+  std::unique_ptr<T[]> ring_;
+  std::uint32_t head_ = 0;
+  std::uint32_t size_ = 0;
+
+  static std::uint64_t next_id() noexcept {
+    static std::atomic<std::uint64_t> counter{1};
+    return counter.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  const std::uint64_t id_ = next_id();
+  Slot slots_[kMaxClients];
+  std::jthread manager_;
+};
+
+}  // namespace msq::queues

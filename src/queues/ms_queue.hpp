@@ -1,0 +1,148 @@
+// The non-blocking concurrent queue of Michael & Scott -- the paper's
+// primary contribution (Figure 1), in the single-word counted-pointer
+// formulation (32-bit pool index + 32-bit modification counter packed into
+// one 64-bit word; the paper's suggested alternative to double-word CAS).
+//
+// Structure: a singly-linked list with Head and Tail counted pointers.
+// Head always points to a dummy node (the first node in the list); Tail
+// points to the last or second-to-last node.  Nodes are recycled through a
+// Treiber-stack free list.  Dequeue ensures Tail never points at (or before)
+// a dequeued node, which is what makes immediate reuse safe.
+//
+// Line numbering in comments follows Figure 1 (E1..E13, D1..D15) so the
+// implementation can be audited against the paper, and so the liveness
+// tests (tests/sim_nonblocking_test.cpp) can speak the same language.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "mem/freelist.hpp"
+#include "mem/node_pool.hpp"
+#include "mem/value_cell.hpp"
+#include "port/cpu.hpp"
+#include "queues/queue_concept.hpp"
+#include "sync/backoff.hpp"
+#include "tagged/atomic_tagged.hpp"
+#include "tagged/tagged_index.hpp"
+
+namespace msq::queues {
+
+/// Lock-free MPMC FIFO queue.  `T` must be trivially copyable and at most
+/// 8 bytes (see mem/value_cell.hpp).  `BackoffPolicy` is applied after a
+/// failed CAS (sync::NullBackoff disables it for the ablation).
+template <typename T, typename BackoffPolicy = sync::Backoff>
+class MsQueue {
+ public:
+  using value_type = T;
+  static constexpr QueueTraits traits{
+      .progress = Progress::kNonBlocking,
+      .mpmc = true,
+      .pool_backed = true,
+      .linearizable = true,
+  };
+
+  /// `capacity` is the maximum number of queued items; one extra node is
+  /// reserved for the dummy.
+  explicit MsQueue(std::uint32_t capacity)
+      : pool_(capacity + 1), freelist_(pool_) {
+    // initialize(Q): node = new_node(); node->next.ptr = NULL;
+    //                Q->Head = Q->Tail = node
+    const std::uint32_t dummy = freelist_.try_allocate();
+    pool_[dummy].next.store(tagged::TaggedIndex{});
+    head_.value.store(tagged::TaggedIndex(dummy, 0));
+    tail_.value.store(tagged::TaggedIndex(dummy, 0));
+  }
+
+  MsQueue(const MsQueue&) = delete;
+  MsQueue& operator=(const MsQueue&) = delete;
+
+  /// enqueue(Q, value).  Returns false iff the node pool is exhausted.
+  bool try_enqueue(T value) noexcept {
+    // E1: node = new_node()
+    const std::uint32_t node = freelist_.try_allocate();
+    if (node == tagged::kNullIndex) return false;
+    // E2: node->value = value;  E3: node->next.ptr = NULL
+    pool_[node].value.store(value);
+    pool_[node].next.store(tagged::TaggedIndex{});
+
+    BackoffPolicy backoff;
+    for (;;) {  // E4: repeat
+      const tagged::TaggedIndex tail = tail_.value.load();       // E5
+      const tagged::TaggedIndex next = pool_[tail.index()].next.load();  // E6
+      if (tail == tail_.value.load()) {  // E7: are tail and next consistent?
+        if (next.is_null()) {            // E8: was Tail pointing to the last node?
+          // E9: try to link node at the end of the linked list
+          if (pool_[tail.index()].next.compare_and_swap(
+                  next, next.successor(node))) {
+            // E10: break -- enqueue is done.
+            // E13: try to swing Tail to the inserted node.
+            tail_.value.compare_and_swap(tail, tail.successor(node));
+            return true;
+          }
+          backoff.pause();
+        } else {
+          // E12: Tail was not pointing to the last node; try to swing it
+          tail_.value.compare_and_swap(tail, tail.successor(next.index()));
+        }
+      }
+    }
+  }
+
+  /// dequeue(Q, pvalue): boolean.  Returns false iff the queue was empty.
+  bool try_dequeue(T& out) noexcept {
+    BackoffPolicy backoff;
+    for (;;) {  // D1: repeat
+      const tagged::TaggedIndex head = head_.value.load();  // D2
+      const tagged::TaggedIndex tail = tail_.value.load();  // D3
+      const tagged::TaggedIndex next = pool_[head.index()].next.load();  // D4
+      if (head == head_.value.load()) {      // D5: consistent?
+        if (head.index() == tail.index()) {  // D6: empty or Tail falling behind?
+          if (next.is_null()) {              // D7: is queue empty?
+            return false;                    // D8
+          }
+          // D9: Tail is falling behind; try to advance it
+          tail_.value.compare_and_swap(tail, tail.successor(next.index()));
+        } else {
+          // D11: read value before CAS; otherwise another dequeue might
+          // free the next node
+          const T value = pool_[next.index()].value.load();
+          // D12: try to swing Head to the next node
+          if (head_.value.compare_and_swap(head, head.successor(next.index()))) {
+            out = value;                     // (D11's *pvalue assignment)
+            freelist_.free(head.index());    // D14: free the old dummy node
+            return true;                     // D13 break; D15 return TRUE
+          }
+          backoff.pause();
+        }
+      }
+    }
+  }
+
+  /// Convenience wrapper with optional-return style.
+  [[nodiscard]] std::optional<T> try_dequeue() noexcept {
+    T value;
+    if (try_dequeue(value)) return value;
+    return std::nullopt;
+  }
+
+  /// Items the pool can still hold (racy snapshot; tests/metrics only).
+  [[nodiscard]] std::size_t unsafe_free_nodes() const noexcept {
+    return freelist_.unsafe_size();
+  }
+
+ private:
+  struct Node {
+    mem::ValueCell<T> value;
+    tagged::AtomicTagged next;
+  };
+
+  mem::NodePool<Node> pool_;
+  mem::FreeList<Node> freelist_;
+  // Head and Tail on separate cache lines: dequeuers and enqueuers must not
+  // false-share (the two-lock queue's design rationale applies here too).
+  port::CacheAligned<tagged::AtomicTagged> head_;
+  port::CacheAligned<tagged::AtomicTagged> tail_;
+};
+
+}  // namespace msq::queues

@@ -1,0 +1,135 @@
+// The MS non-blocking queue in its double-word-CAS formulation: real node
+// pointers paired with 64-bit modification counters, updated with
+// cmpxchg16b.  This is the other implementation option the paper names for
+// the counted-pointer ABA defence ("one must either employ a double-word
+// compare_and_swap, or else use array indices instead of pointers").
+//
+// Algorithmically identical to queues/ms_queue.hpp (Figure 1); only the
+// pointer representation differs.  Nodes still live in a pool and recycle
+// through a Treiber free list -- reclamation safety comes from counters and
+// type-stable memory, exactly as in the paper.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "mem/value_cell.hpp"
+#include "port/cpu.hpp"
+#include "queues/queue_concept.hpp"
+#include "sync/backoff.hpp"
+#include "tagged/counted_ptr.hpp"
+
+namespace msq::queues {
+
+template <typename T, typename BackoffPolicy = sync::Backoff>
+class MsQueueDw {
+ public:
+  using value_type = T;
+  static constexpr QueueTraits traits{
+      .progress = Progress::kNonBlocking,
+      .mpmc = true,
+      .pool_backed = true,
+      .linearizable = true,
+  };
+
+  explicit MsQueueDw(std::uint32_t capacity)
+      : capacity_(capacity + 1), nodes_(std::make_unique<Node[]>(capacity + 1)) {
+    // Free list initially holds all nodes but the dummy.
+    for (std::uint32_t i = 1; i < capacity_; ++i) push_free(&nodes_[i]);
+    Node* dummy = &nodes_[0];
+    dummy->next.store({nullptr, 0});
+    head_.value.store({dummy, 0});
+    tail_.value.store({dummy, 0});
+  }
+
+  MsQueueDw(const MsQueueDw&) = delete;
+  MsQueueDw& operator=(const MsQueueDw&) = delete;
+
+  bool try_enqueue(T value) noexcept {
+    Node* node = pop_free();  // E1
+    if (node == nullptr) return false;
+    node->value.store(value);       // E2
+    node->next.store({nullptr, 0});  // E3
+
+    BackoffPolicy backoff;
+    for (;;) {                                              // E4
+      const tagged::CountedPtr<Node> tail = tail_.value.load();  // E5
+      const tagged::CountedPtr<Node> next = tail.ptr->next.load();  // E6
+      if (tail == tail_.value.load()) {                     // E7
+        if (next.ptr == nullptr) {                          // E8
+          if (tail.ptr->next.compare_and_swap(next, next.successor(node))) {  // E9
+            tail_.value.compare_and_swap(tail, tail.successor(node));  // E13
+            return true;  // E10
+          }
+          backoff.pause();
+        } else {
+          tail_.value.compare_and_swap(tail, tail.successor(next.ptr));  // E12
+        }
+      }
+    }
+  }
+
+  bool try_dequeue(T& out) noexcept {
+    BackoffPolicy backoff;
+    for (;;) {                                                   // D1
+      const tagged::CountedPtr<Node> head = head_.value.load();  // D2
+      const tagged::CountedPtr<Node> tail = tail_.value.load();  // D3
+      const tagged::CountedPtr<Node> next = head.ptr->next.load();  // D4
+      if (head == head_.value.load()) {  // D5
+        if (head.ptr == tail.ptr) {      // D6
+          if (next.ptr == nullptr) return false;  // D7-D8
+          tail_.value.compare_and_swap(tail, tail.successor(next.ptr));  // D9
+        } else {
+          const T value = next.ptr->value.load();  // D11
+          if (head_.value.compare_and_swap(head, head.successor(next.ptr))) {  // D12
+            out = value;
+            push_free(head.ptr);  // D14
+            return true;          // D15
+          }
+          backoff.pause();
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] std::optional<T> try_dequeue() noexcept {
+    T value;
+    if (try_dequeue(value)) return value;
+    return std::nullopt;
+  }
+
+ private:
+  struct Node {
+    mem::ValueCell<T> value;
+    tagged::AtomicCountedPtr<Node> next;
+  };
+
+  // Treiber free list over counted pointers.
+  void push_free(Node* node) noexcept {
+    for (;;) {
+      const tagged::CountedPtr<Node> top = free_top_.value.load();
+      node->next.store({top.ptr, 0});
+      if (free_top_.value.compare_and_swap(top, top.successor(node))) return;
+    }
+  }
+
+  Node* pop_free() noexcept {
+    for (;;) {
+      const tagged::CountedPtr<Node> top = free_top_.value.load();
+      if (top.ptr == nullptr) return nullptr;
+      const tagged::CountedPtr<Node> next = top.ptr->next.load();
+      if (free_top_.value.compare_and_swap(top, top.successor(next.ptr))) {
+        return top.ptr;
+      }
+    }
+  }
+
+  std::uint32_t capacity_;
+  std::unique_ptr<Node[]> nodes_;
+  port::CacheAligned<tagged::AtomicCountedPtr<Node>> free_top_;
+  port::CacheAligned<tagged::AtomicCountedPtr<Node>> head_;
+  port::CacheAligned<tagged::AtomicCountedPtr<Node>> tail_;
+};
+
+}  // namespace msq::queues

@@ -1,0 +1,46 @@
+// The uniform interface every queue in the library implements, as a C++20
+// concept, plus compile-time traits the tests, harness and benches use to
+// select applicable queues.
+//
+// All queues are MPMC FIFO unless their traits say otherwise, and follow the
+// paper's operational signatures: enqueue(value) and a dequeue that reports
+// emptiness via its boolean result (Figure 1's `dequeue(Q, pvalue): boolean`).
+// Pool-backed queues additionally report allocation failure from enqueue,
+// which is the honest translation of "no finite memory can guarantee..."
+// concerns into an API.
+#pragma once
+
+#include <concepts>
+#include <cstddef>
+
+namespace msq::queues {
+
+template <typename Q>
+concept ConcurrentQueue = requires(Q q, typename Q::value_type v) {
+  typename Q::value_type;
+  /// Returns false iff the queue is out of nodes (bounded/pool-backed).
+  { q.try_enqueue(v) } -> std::convertible_to<bool>;
+  /// Returns false iff the queue was observed empty.
+  { q.try_dequeue(v) } -> std::convertible_to<bool>;
+};
+
+/// Progress guarantee of the implementation, per the paper's taxonomy
+/// (section 1): blocking, lock-free-but-blocking ("they do not use locking
+/// mechanisms, but they allow a slow process to delay faster processes
+/// indefinitely"), non-blocking, wait-free.
+enum class Progress {
+  kBlocking,          // single-lock, two-lock
+  kLockFreeBlocking,  // Mellor-Crummey
+  kNonBlocking,       // MS, PLJ, Valois, Treiber
+  kWaitFree,          // Lamport SPSC (single enqueuer + single dequeuer)
+};
+
+/// Compile-time description each queue exports as `Q::traits`.
+struct QueueTraits {
+  Progress progress = Progress::kBlocking;
+  bool mpmc = true;            // false: SPSC only
+  bool pool_backed = true;     // enqueue can fail when nodes run out
+  bool linearizable = true;
+};
+
+}  // namespace msq::queues

@@ -1,0 +1,31 @@
+// Umbrella header: every queue and stack in the library.
+//
+//   Core contributions (Michael & Scott, PODC'96):
+//     MsQueue       -- non-blocking queue, counted pool indices (Figure 1)
+//     MsQueueDw     -- same algorithm, 128-bit counted pointers (cmpxchg16b)
+//     TwoLockQueue  -- two-lock queue with dummy node (Figure 2)
+//   Evaluation baselines (paper section 4):
+//     SingleLockQueue     -- one lock around a plain list
+//     MellorCrummeyQueue  -- lock-free but blocking ticket/slot ring
+//     PljQueue            -- Prakash-Lee-Johnson snapshot queue
+//     ValoisQueue         -- reference-counted non-blocking queue
+//   Related work / extensions:
+//     SpscRing      -- Lamport wait-free single-producer/single-consumer
+//     TreiberStack  -- the non-blocking LIFO used as the free list
+//     MsQueueHp     -- MS queue with hazard-pointer reclamation (2004)
+//     RingQueue     -- ticketed bounded MPMC ring (Vyukov-style, modern)
+#pragma once
+
+#include "queues/mellor_crummey_queue.hpp"
+#include "queues/ms_queue.hpp"
+#include "queues/ms_queue_dwcas.hpp"
+#include "queues/ms_queue_hp.hpp"
+#include "queues/function_shipping_queue.hpp"
+#include "queues/plj_queue.hpp"
+#include "queues/queue_concept.hpp"
+#include "queues/ring_queue.hpp"
+#include "queues/single_lock_queue.hpp"
+#include "queues/spsc_ring.hpp"
+#include "queues/treiber_stack.hpp"
+#include "queues/two_lock_queue.hpp"
+#include "queues/valois_queue.hpp"

@@ -1,0 +1,101 @@
+// Straightforward single-lock queue -- the baseline of the paper's
+// evaluation ("a straightforward single-lock queue ... For a queue that is
+// usually accessed by only one or two processors, a single lock will run a
+// little faster").
+//
+// One test-and-test_and_set lock (with bounded exponential backoff, as in
+// the paper) protects the whole structure; with both ends serialised, the
+// plain (non-atomic) free list can live under the same lock.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "mem/node_pool.hpp"
+#include "port/cpu.hpp"
+#include "queues/queue_concept.hpp"
+#include "sync/tatas_lock.hpp"
+#include "tagged/tagged_index.hpp"
+
+namespace msq::queues {
+
+template <typename T, typename Lock = sync::TatasLock>
+class SingleLockQueue {
+ public:
+  using value_type = T;
+  static constexpr QueueTraits traits{
+      .progress = Progress::kBlocking,
+      .mpmc = true,
+      .pool_backed = true,
+      .linearizable = true,
+  };
+
+  explicit SingleLockQueue(std::uint32_t capacity) : pool_(capacity + 1) {
+    // Private free list: singly linked through `next` indices.
+    for (std::uint32_t i = 0; i < pool_.capacity(); ++i) {
+      pool_[i].next = free_top_;
+      free_top_ = i;
+    }
+    const std::uint32_t dummy = allocate();
+    pool_[dummy].next = tagged::kNullIndex;
+    head_ = tail_ = dummy;
+  }
+
+  SingleLockQueue(const SingleLockQueue&) = delete;
+  SingleLockQueue& operator=(const SingleLockQueue&) = delete;
+
+  bool try_enqueue(T value) {
+    std::scoped_lock guard(lock_.value);
+    const std::uint32_t node = allocate();
+    if (node == tagged::kNullIndex) return false;
+    pool_[node].value = std::move(value);
+    pool_[node].next = tagged::kNullIndex;
+    pool_[tail_].next = node;
+    tail_ = node;
+    return true;
+  }
+
+  bool try_dequeue(T& out) {
+    std::scoped_lock guard(lock_.value);
+    const std::uint32_t dummy = head_;
+    const std::uint32_t first = pool_[dummy].next;
+    if (first == tagged::kNullIndex) return false;
+    out = std::move(pool_[first].value);
+    head_ = first;
+    release(dummy);
+    return true;
+  }
+
+  [[nodiscard]] std::optional<T> try_dequeue() {
+    T value;
+    if (try_dequeue(value)) return value;
+    return std::nullopt;
+  }
+
+ private:
+  struct Node {
+    T value{};
+    std::uint32_t next = tagged::kNullIndex;
+  };
+
+  std::uint32_t allocate() noexcept {
+    if (free_top_ == tagged::kNullIndex) return tagged::kNullIndex;
+    const std::uint32_t node = free_top_;
+    free_top_ = pool_[node].next;
+    return node;
+  }
+  void release(std::uint32_t node) noexcept {
+    pool_[node].next = free_top_;
+    free_top_ = node;
+  }
+
+  mem::NodePool<Node> pool_;
+  std::uint32_t free_top_ = tagged::kNullIndex;
+  std::uint32_t head_ = tagged::kNullIndex;  // all guarded by lock_
+  std::uint32_t tail_ = tagged::kNullIndex;
+  port::CacheAligned<Lock> lock_;
+};
+
+}  // namespace msq::queues

@@ -1,0 +1,79 @@
+// Lamport's wait-free single-producer/single-consumer queue [9]
+// ("Specifying Concurrent Program Modules", TOPLAS 1983).
+//
+// The paper cites it as the wait-free point in the design space, usable only
+// when concurrency is restricted to one enqueuer and one dequeuer.  It needs
+// no atomic RMW at all: the producer owns `tail`, the consumer owns `head`,
+// and each reads the other's index with acquire/release ordering.  Both
+// operations complete in a bounded number of steps regardless of what the
+// other process does -- wait-free, the strongest progress guarantee in the
+// taxonomy.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "port/cpu.hpp"
+#include "queues/queue_concept.hpp"
+
+namespace msq::queues {
+
+template <typename T>
+class SpscRing {
+ public:
+  using value_type = T;
+  static constexpr QueueTraits traits{
+      .progress = Progress::kWaitFree,
+      .mpmc = false,  // ONE producer thread and ONE consumer thread
+      .pool_backed = true,
+      .linearizable = true,
+  };
+
+  /// Holds up to `capacity` items (one ring slot is kept empty to
+  /// distinguish full from empty, as in Lamport's original).
+  explicit SpscRing(std::uint32_t capacity)
+      : size_(capacity + 1), ring_(std::make_unique<T[]>(size_)) {}
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer side only.  Returns false iff full.  Wait-free: one load, one
+  /// store, no retry loop.
+  bool try_enqueue(T value) noexcept {
+    const std::uint32_t tail = tail_.load(std::memory_order_relaxed);
+    const std::uint32_t next = successor(tail);
+    if (next == head_.load(std::memory_order_acquire)) return false;  // full
+    ring_[tail] = std::move(value);
+    tail_.store(next, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side only.  Returns false iff empty.  Wait-free.
+  bool try_dequeue(T& out) noexcept {
+    const std::uint32_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_.load(std::memory_order_acquire)) return false;  // empty
+    out = std::move(ring_[head]);
+    head_.store(successor(head), std::memory_order_release);
+    return true;
+  }
+
+  [[nodiscard]] std::optional<T> try_dequeue() noexcept {
+    T value;
+    if (try_dequeue(value)) return value;
+    return std::nullopt;
+  }
+
+ private:
+  [[nodiscard]] std::uint32_t successor(std::uint32_t i) const noexcept {
+    return (i + 1 == size_) ? 0 : i + 1;
+  }
+
+  std::uint32_t size_;
+  std::unique_ptr<T[]> ring_;
+  alignas(port::kCacheLine) std::atomic<std::uint32_t> head_{0};  // consumer's
+  alignas(port::kCacheLine) std::atomic<std::uint32_t> tail_{0};  // producer's
+};
+
+}  // namespace msq::queues

@@ -1,0 +1,109 @@
+// Treiber's non-blocking stack [21] as a public LIFO container.
+//
+// Inside the library it is the free list (mem/freelist.hpp); the paper also
+// discusses it as the non-blocking *queue* candidate it is not ("Treiber
+// presents an algorithm that is non-blocking but inefficient: a dequeue
+// operation takes time proportional to the number of the elements in the
+// queue" -- that variant dequeued from the far end).  As a stack it is
+// simple, fast and non-blocking, so we expose it alongside the queues.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "mem/node_pool.hpp"
+#include "mem/value_cell.hpp"
+#include "port/cpu.hpp"
+#include "queues/queue_concept.hpp"
+#include "sync/backoff.hpp"
+#include "tagged/atomic_tagged.hpp"
+#include "tagged/tagged_index.hpp"
+
+namespace msq::queues {
+
+template <typename T, typename BackoffPolicy = sync::Backoff>
+class TreiberStack {
+ public:
+  using value_type = T;
+  static constexpr QueueTraits traits{
+      .progress = Progress::kNonBlocking,
+      .mpmc = true,
+      .pool_backed = true,
+      .linearizable = true,
+  };
+
+  explicit TreiberStack(std::uint32_t capacity) : pool_(capacity) {
+    // Private free list threaded through the same next fields.
+    for (std::uint32_t i = 0; i < capacity; ++i) free_push(i);
+  }
+
+  TreiberStack(const TreiberStack&) = delete;
+  TreiberStack& operator=(const TreiberStack&) = delete;
+
+  /// Push; false iff out of nodes.
+  bool try_push(T value) noexcept {
+    const std::uint32_t node = free_pop();
+    if (node == tagged::kNullIndex) return false;
+    pool_[node].value.store(value);
+    BackoffPolicy backoff;
+    for (;;) {
+      const tagged::TaggedIndex top = top_.value.load();
+      pool_[node].next.store(tagged::TaggedIndex(top.index(), 0));
+      if (top_.value.compare_and_swap(top, top.successor(node))) return true;
+      backoff.pause();
+    }
+  }
+
+  /// Pop; false iff empty.
+  bool try_pop(T& out) noexcept {
+    BackoffPolicy backoff;
+    for (;;) {
+      const tagged::TaggedIndex top = top_.value.load();
+      if (top.is_null()) return false;
+      const tagged::TaggedIndex next = pool_[top.index()].next.load();
+      const T value = pool_[top.index()].value.load();  // before CAS, as in D11
+      if (top_.value.compare_and_swap(top, top.successor(next.index()))) {
+        out = value;
+        free_push(top.index());
+        return true;
+      }
+      backoff.pause();
+    }
+  }
+
+  [[nodiscard]] std::optional<T> try_pop() noexcept {
+    T value;
+    if (try_pop(value)) return value;
+    return std::nullopt;
+  }
+
+ private:
+  struct Node {
+    mem::ValueCell<T> value;
+    tagged::AtomicTagged next;
+  };
+
+  void free_push(std::uint32_t node) noexcept {
+    for (;;) {
+      const tagged::TaggedIndex top = free_top_.value.load();
+      pool_[node].next.store(tagged::TaggedIndex(top.index(), 0));
+      if (free_top_.value.compare_and_swap(top, top.successor(node))) return;
+    }
+  }
+  std::uint32_t free_pop() noexcept {
+    for (;;) {
+      const tagged::TaggedIndex top = free_top_.value.load();
+      if (top.is_null()) return tagged::kNullIndex;
+      const tagged::TaggedIndex next = pool_[top.index()].next.load();
+      if (free_top_.value.compare_and_swap(top, top.successor(next.index()))) {
+        return top.index();
+      }
+    }
+  }
+
+  mem::NodePool<Node> pool_;
+  port::CacheAligned<tagged::AtomicTagged> top_;
+  port::CacheAligned<tagged::AtomicTagged> free_top_;
+};
+
+}  // namespace msq::queues

@@ -1,0 +1,115 @@
+// The two-lock concurrent queue -- the paper's second contribution
+// (Figure 2): separate Head and Tail locks so one enqueue and one dequeue
+// proceed concurrently, with a dummy node at the head of the list so
+// "enqueuers never have to access Head, and dequeuers never have to access
+// Tail, thus avoiding potential deadlock problems that arise from processes
+// trying to acquire the locks in different orders."
+//
+// The paper benchmarks this with test-and-test_and_set locks with bounded
+// exponential backoff; `Lock` is a template parameter so the lock ablation
+// can swap in TAS, ticket or MCS locks.
+//
+// Node allocation: enqueuers allocate while holding only T_lock and
+// dequeuers free while holding only H_lock, so the free list must itself be
+// thread-safe between one allocator and one deallocator; we reuse the
+// Treiber free list (also what the paper's C code does).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "mem/freelist.hpp"
+#include "mem/node_pool.hpp"
+#include "port/cpu.hpp"
+#include "queues/queue_concept.hpp"
+#include "sync/tatas_lock.hpp"
+#include "tagged/atomic_tagged.hpp"
+#include "tagged/tagged_index.hpp"
+
+namespace msq::queues {
+
+template <typename T, typename Lock = sync::TatasLock>
+class TwoLockQueue {
+ public:
+  using value_type = T;
+  static constexpr QueueTraits traits{
+      .progress = Progress::kBlocking,
+      .mpmc = true,
+      .pool_backed = true,
+      .linearizable = true,
+  };
+
+  explicit TwoLockQueue(std::uint32_t capacity)
+      : pool_(capacity + 1), freelist_(pool_) {
+    // initialize(Q): node = new_node(); node->next = NULL;
+    //                Q->Head = Q->Tail = node; locks free
+    const std::uint32_t dummy = freelist_.try_allocate();
+    pool_[dummy].next.store(tagged::TaggedIndex{});
+    head_.value = dummy;
+    tail_.value = dummy;
+  }
+
+  TwoLockQueue(const TwoLockQueue&) = delete;
+  TwoLockQueue& operator=(const TwoLockQueue&) = delete;
+
+  bool try_enqueue(T value) {
+    // node = new_node(); node->value = value; node->next = NULL
+    // (allocation outside the critical section: CP.43, and the free list is
+    //  lock-free so this cannot deadlock with a dequeuer freeing)
+    const std::uint32_t node = freelist_.try_allocate();
+    if (node == tagged::kNullIndex) return false;
+    pool_[node].value = std::move(value);
+    pool_[node].next.store(tagged::TaggedIndex{});
+
+    {
+      std::scoped_lock guard(tail_lock_.value);       // lock(&Q->T_lock)
+      pool_[tail_.value].next.store(                  // Q->Tail->next = node
+          tagged::TaggedIndex(node, 0));
+      tail_.value = node;                             // Q->Tail = node
+    }                                                 // unlock(&Q->T_lock)
+    return true;
+  }
+
+  bool try_dequeue(T& out) {
+    std::uint32_t old_dummy;
+    {
+      std::scoped_lock guard(head_lock_.value);       // lock(&Q->H_lock)
+      old_dummy = head_.value;                        // node = Q->Head
+      const tagged::TaggedIndex new_head =
+          pool_[old_dummy].next.load();               // new_head = node->next
+      if (new_head.is_null()) {                       // is queue empty?
+        return false;                                 // unlock via RAII
+      }
+      out = std::move(pool_[new_head.index()].value); // *pvalue = new_head->value
+      head_.value = new_head.index();                 // Q->Head = new_head
+    }                                                 // unlock(&Q->H_lock)
+    freelist_.free(old_dummy);                        // free(node)
+    return true;
+  }
+
+  [[nodiscard]] std::optional<T> try_dequeue() {
+    T value;
+    if (try_dequeue(value)) return value;
+    return std::nullopt;
+  }
+
+ private:
+  struct Node {
+    T value{};
+    tagged::AtomicTagged next;
+  };
+
+  mem::NodePool<Node> pool_;
+  mem::FreeList<Node> freelist_;
+  // Each lock lives with the pointer it guards, on its own cache line, so
+  // enqueuers and dequeuers touch disjoint lines (the whole point of the
+  // algorithm).
+  port::CacheAligned<std::uint32_t> head_;   // guarded by head_lock_
+  port::CacheAligned<std::uint32_t> tail_;   // guarded by tail_lock_
+  port::CacheAligned<Lock> head_lock_;
+  port::CacheAligned<Lock> tail_lock_;
+};
+
+}  // namespace msq::queues

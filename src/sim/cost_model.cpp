@@ -1,0 +1,25 @@
+#include "sim/cost_model.hpp"
+#include <bit>
+
+namespace msq::sim {
+
+double CostModel::on_read(std::uint32_t processor, Addr addr) {
+  std::uint64_t& mask = sharers(addr);
+  const std::uint64_t bit = 1ull << (processor % kMaxProcessors);
+  if (mask & bit) return params_.read_hit;
+  mask |= bit;
+  return params_.read_miss;
+}
+
+double CostModel::on_write(std::uint32_t processor, Addr addr, bool rmw) {
+  std::uint64_t& mask = sharers(addr);
+  const std::uint64_t bit = 1ull << (processor % kMaxProcessors);
+  const bool exclusive = mask == bit;
+  const int others = std::popcount(mask & ~bit);
+  mask = bit;  // invalidate all other copies
+  const double queueing = params_.contention_per_sharer * others;
+  if (rmw) return (exclusive ? params_.rmw_owned : params_.rmw_miss) + queueing;
+  return (exclusive ? params_.write_owned : params_.write_miss) + queueing;
+}
+
+}  // namespace msq::sim

@@ -1,0 +1,210 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <string_view>
+
+namespace msq::sim {
+
+void Proc::OpAwaiter::await_suspend(std::coroutine_handle<> h) noexcept {
+  // The access happens NOW, as the final action of this step; the engine
+  // stores where to pick the process up next time it is scheduled.
+  result = engine->execute(proc, op);
+  engine->process(proc).resume_point = h;
+}
+
+void Proc::LabelAwaiter::await_suspend(std::coroutine_handle<> h) noexcept {
+  Engine::Process& p = engine->process(proc);
+  p.label = label;
+  p.last_step_cost = 0;
+  p.resume_point = h;
+  ++engine->steps_;
+}
+
+void Proc::annotate(const char* label) noexcept {
+  engine_->process(id_).label = label;
+}
+
+Engine::Engine(EngineConfig config)
+    : config_(config), cost_model_(config.cost), rng_(config.seed) {
+  processors_.resize(config_.processors);
+}
+
+Engine::~Engine() {
+  // Root Task destructors tear down any still-suspended coroutines.
+}
+
+std::uint64_t Engine::execute(std::uint32_t id, const PendingOp& op) {
+  Process& p = process(id);
+  double cost = 0;
+  std::uint64_t result = 0;
+  const std::uint32_t processor = p.processor;
+  switch (op.kind) {
+    case OpKind::kRead:
+      cost = cost_model_.on_read(processor, op.addr);
+      result = memory_.word(op.addr);
+      break;
+    case OpKind::kWrite:
+      cost = cost_model_.on_write(processor, op.addr, /*rmw=*/false);
+      memory_.word(op.addr) = op.operand_a;
+      break;
+    case OpKind::kCas: {
+      cost = cost_model_.on_write(processor, op.addr, /*rmw=*/true);
+      std::uint64_t& w = memory_.word(op.addr);
+      result = w;  // old value; success iff old == expected
+      if (w == op.operand_a) w = op.operand_b;
+      break;
+    }
+    case OpKind::kFaa: {
+      cost = cost_model_.on_write(processor, op.addr, /*rmw=*/true);
+      std::uint64_t& w = memory_.word(op.addr);
+      result = w;
+      w += op.operand_a;
+      break;
+    }
+    case OpKind::kSwap: {
+      cost = cost_model_.on_write(processor, op.addr, /*rmw=*/true);
+      std::uint64_t& w = memory_.word(op.addr);
+      result = w;
+      w = op.operand_a;
+      break;
+    }
+    case OpKind::kWork:
+      cost = cost_model_.on_work(op.work_cost);
+      break;
+  }
+  if (config_.jitter > 0) {
+    cost += config_.jitter * static_cast<double>(rng_() >> 40) /
+            static_cast<double>(1ull << 24);
+  }
+  p.last_step_cost = cost;
+  ++steps_;
+  return result;
+}
+
+void Engine::resume_one(std::uint32_t id) {
+  Process& p = process(id);
+  p.last_step_cost = 0;
+  if (!p.started) {
+    p.started = true;
+    p.root->start();
+  } else {
+    p.resume_point.resume();
+  }
+  if (p.root->done()) p.finished = true;
+}
+
+bool Engine::step(std::uint32_t id) {
+  Process& p = process(id);
+  if (p.finished) return false;
+  if (p.freeze_label != nullptr && p.label != nullptr &&
+      std::string_view(p.label) == p.freeze_label) {
+    p.frozen = true;
+  }
+  resume_one(id);
+  return true;
+}
+
+void Engine::freeze_at_label(std::uint32_t id, const char* label) {
+  process(id).freeze_label = label;
+}
+
+bool Engine::all_done() const {
+  return std::all_of(processes_.begin(), processes_.end(),
+                     [](const auto& p) { return p->finished; });
+}
+
+bool Engine::runnable_exists() const {
+  return std::any_of(processes_.begin(), processes_.end(), [](const auto& p) {
+    return !p->finished && !p->frozen;
+  });
+}
+
+bool Engine::step_random() {
+  // Collect runnable processes, honouring freeze labels first.
+  std::vector<std::uint32_t> runnable;
+  runnable.reserve(processes_.size());
+  for (std::uint32_t i = 0; i < processes_.size(); ++i) {
+    Process& p = *processes_[i];
+    if (p.finished) continue;
+    if (p.freeze_label != nullptr && p.label != nullptr &&
+        std::string_view(p.label) == p.freeze_label) {
+      p.frozen = true;
+    }
+    if (!p.frozen) runnable.push_back(i);
+  }
+  if (runnable.empty()) return false;
+  const std::uint32_t pick =
+      runnable[static_cast<std::size_t>(rng_.below(runnable.size()))];
+  resume_one(pick);
+  return true;
+}
+
+bool Engine::run_random(std::uint64_t max_steps) {
+  for (std::uint64_t i = 0; i < max_steps; ++i) {
+    if (!step_random()) return all_done();
+  }
+  return false;
+}
+
+double Engine::run_cost_model() {
+  // Attach processes to their processors' run queues.
+  for (auto& processor : processors_) {
+    processor.procs.clear();
+    processor.current = 0;
+    processor.clock = 0;
+    processor.quantum_used = 0;
+  }
+  for (std::uint32_t i = 0; i < processes_.size(); ++i) {
+    processors_.at(processes_[i]->processor).procs.push_back(i);
+  }
+
+  auto runnable_on = [&](const Processor& pr) {
+    return std::any_of(pr.procs.begin(), pr.procs.end(), [&](std::uint32_t id) {
+      const Process& p = process(id);
+      return !p.finished && !p.frozen;
+    });
+  };
+
+  for (;;) {
+    // Discrete event step: advance the least-advanced busy processor.
+    Processor* chosen = nullptr;
+    for (auto& pr : processors_) {
+      if (!runnable_on(pr)) continue;
+      if (chosen == nullptr || pr.clock < chosen->clock) chosen = &pr;
+    }
+    if (chosen == nullptr) break;  // everything finished (or frozen)
+
+    // Round-robin within the processor: advance the cursor past processes
+    // that finished or are frozen (a frozen process models one that is
+    // stalled in the kernel; it yields its slot immediately).
+    Processor& pr = *chosen;
+    std::size_t scanned = 0;
+    while (scanned < pr.procs.size()) {
+      const Process& p = process(pr.procs[pr.current]);
+      if (!p.finished && !p.frozen) break;
+      pr.current = (pr.current + 1) % pr.procs.size();
+      pr.quantum_used = 0;
+      ++scanned;
+    }
+    const std::uint32_t id = pr.procs[pr.current];
+
+    resume_one(id);
+    const double cost = process(id).last_step_cost;
+    pr.clock += cost;
+    pr.quantum_used += cost;
+
+    if (process(id).finished ||
+        (pr.quantum_used >= config_.quantum && pr.procs.size() > 1)) {
+      // Preempt: rotate to the next co-scheduled process.
+      pr.current = (pr.current + 1) % pr.procs.size();
+      pr.quantum_used = 0;
+      pr.clock += cost_model_.params().context_switch;
+    }
+  }
+
+  double elapsed = 0;
+  for (const auto& pr : processors_) elapsed = std::max(elapsed, pr.clock);
+  return elapsed;
+}
+
+}  // namespace msq::sim

@@ -1,0 +1,242 @@
+// The simulated multiprocessor: virtual processes (coroutines) advancing
+// one shared-memory access per step under an engine-owned schedule.
+//
+// This is the substitute for the paper's 12-node SGI Challenge (DESIGN.md
+// section 4).  Two modes share all algorithm code:
+//
+//  * Schedule-exploration mode (step_random / step): the engine picks which
+//    process performs the next access -- seeded-random, round-robin or
+//    fully directed.  Tests check safety invariants between steps, record
+//    histories for the linearizability checker, and freeze() processes at
+//    annotated pseudo-code lines to exercise the paper's liveness arguments
+//    (section 3.3) and the published race conditions.
+//
+//  * Cost mode (run_cost_model): a discrete-event simulation.  Each virtual
+//    processor has a clock; the engine always advances the
+//    least-advanced processor, charging each access its coherence cost
+//    (sim/cost_model.hpp).  Multiple processes per processor are
+//    multiplexed with a preemption quantum, reproducing the paper's
+//    multiprogrammed configurations (Figures 4 and 5).
+//
+// One step == one shared-memory access (read/write/CAS/FAA) or one work()
+// episode.  The access is applied atomically at the step boundary, giving
+// sequential consistency, the model the paper's pseudo-code assumes.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "port/prng.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/memory.hpp"
+#include "sim/task.hpp"
+
+namespace msq::sim {
+
+class Engine;
+
+enum class OpKind : std::uint8_t { kRead, kWrite, kCas, kFaa, kSwap, kWork };
+
+struct PendingOp {
+  OpKind kind;
+  Addr addr = 0;
+  std::uint64_t operand_a = 0;  // write value / CAS expected / FAA delta
+  std::uint64_t operand_b = 0;  // CAS desired
+  double work_cost = 0;         // kWork only
+};
+
+/// Per-process facade passed into algorithm coroutines; its methods return
+/// awaitables that suspend the coroutine for exactly one engine step.
+class Proc {
+ public:
+  struct OpAwaiter {
+    Engine* engine;
+    std::uint32_t proc;
+    PendingOp op;
+    std::uint64_t result = 0;
+
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) noexcept;
+    std::uint64_t await_resume() const noexcept { return result; }
+  };
+
+  [[nodiscard]] OpAwaiter read(Addr a) noexcept {
+    return {engine_, id_, {OpKind::kRead, a, 0, 0, 0}};
+  }
+  [[nodiscard]] OpAwaiter write(Addr a, std::uint64_t v) noexcept {
+    return {engine_, id_, {OpKind::kWrite, a, v, 0, 0}};
+  }
+  /// Returns the OLD value; the CAS succeeded iff old == expected.
+  [[nodiscard]] OpAwaiter cas(Addr a, std::uint64_t expected,
+                              std::uint64_t desired) noexcept {
+    return {engine_, id_, {OpKind::kCas, a, expected, desired, 0}};
+  }
+  /// fetch_and_add; returns the OLD value.
+  [[nodiscard]] OpAwaiter faa(Addr a, std::uint64_t delta) noexcept {
+    return {engine_, id_, {OpKind::kFaa, a, delta, 0, 0}};
+  }
+  /// fetch_and_store (unconditional swap); returns the OLD value.
+  [[nodiscard]] OpAwaiter swap(Addr a, std::uint64_t v) noexcept {
+    return {engine_, id_, {OpKind::kSwap, a, v, 0, 0}};
+  }
+  /// Local work of `cost` units (the paper's ~6us spin, backoff episodes).
+  [[nodiscard]] OpAwaiter work(double cost) noexcept {
+    return {engine_, id_, {OpKind::kWork, 0, 0, 0, cost}};
+  }
+
+  struct LabelAwaiter {
+    Engine* engine;
+    std::uint32_t proc;
+    const char* label;
+
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) noexcept;
+    void await_resume() const noexcept {}
+  };
+
+  /// Suspend at a labelled pseudo-code line (zero cost): after this step the
+  /// process's label is `label` and its NEXT step executes the labelled
+  /// operation.  freeze_at_label() therefore stalls a process after it has
+  /// committed to an operation but before the operation takes effect --
+  /// precisely the windows the paper's liveness argument (section 3.3) and
+  /// the historical race conditions are about.
+  [[nodiscard]] LabelAwaiter at(const char* label) noexcept {
+    return {engine_, id_, label};
+  }
+
+  /// Tag the process without suspending (status only, not a stall point).
+  void annotate(const char* label) noexcept;
+
+  [[nodiscard]] std::uint32_t id() const noexcept { return id_; }
+  [[nodiscard]] Engine& engine() noexcept { return *engine_; }
+
+ private:
+  friend class Engine;
+  Proc(Engine* engine, std::uint32_t id) noexcept : engine_(engine), id_(id) {}
+
+  Engine* engine_;
+  std::uint32_t id_;
+};
+
+struct EngineConfig {
+  std::uint32_t processors = 1;
+  double quantum = std::numeric_limits<double>::infinity();  // preemption off
+  CostParams cost{};
+  std::uint64_t seed = 1;
+  double jitter = 0;  // uniform extra cost in [0, jitter) per step
+};
+
+class Engine {
+ public:
+  explicit Engine(EngineConfig config = {});
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  [[nodiscard]] SimMemory& memory() noexcept { return memory_; }
+  [[nodiscard]] const SimMemory& memory() const noexcept { return memory_; }
+  [[nodiscard]] const EngineConfig& config() const noexcept { return config_; }
+
+  /// Create a virtual process pinned to `processor` and hand it a root
+  /// coroutine built from its Proc facade.  The factory is invoked
+  /// immediately; the coroutine body runs lazily, one step at a time.
+  template <typename Factory>  // Factory: Task<void>(Proc&)
+  std::uint32_t spawn(std::uint32_t processor, Factory&& factory) {
+    const std::uint32_t id = static_cast<std::uint32_t>(processes_.size());
+    auto proc = std::unique_ptr<Proc>(new Proc(this, id));
+    processes_.push_back(std::make_unique<Process>());
+    processes_.back()->facade = std::move(proc);
+    processes_.back()->processor = processor;
+    processes_.back()->root.emplace(factory(*processes_.back()->facade));
+    assert(processor < config_.processors);
+    return id;
+  }
+
+  // --- schedule-exploration interface -----------------------------------
+  /// Advance process `id` by one step.  Returns false if it is done.
+  bool step(std::uint32_t id);
+  /// Advance a uniformly random runnable process; false when none remain.
+  bool step_random();
+  /// Run a random schedule to completion (bounded by `max_steps`).
+  /// Returns true if every process finished.
+  bool run_random(std::uint64_t max_steps = 100'000'000);
+
+  void freeze(std::uint32_t id) { process(id).frozen = true; }
+  void unfreeze(std::uint32_t id) { process(id).frozen = false; }
+  /// Freeze `id` as soon as its annotation equals `label` (checked before
+  /// each of its steps).  Pass nullptr to cancel.
+  void freeze_at_label(std::uint32_t id, const char* label);
+
+  [[nodiscard]] bool done(std::uint32_t id) const {
+    return process(id).finished;
+  }
+  [[nodiscard]] bool all_done() const;
+  [[nodiscard]] bool runnable_exists() const;
+  [[nodiscard]] const char* label(std::uint32_t id) const {
+    return process(id).label;
+  }
+  [[nodiscard]] std::uint32_t process_count() const noexcept {
+    return static_cast<std::uint32_t>(processes_.size());
+  }
+
+  // --- cost-model interface ----------------------------------------------
+  /// Discrete-event run to completion.  Returns simulated elapsed time
+  /// (max processor clock).  Requires every process to terminate.
+  double run_cost_model();
+
+  [[nodiscard]] std::uint64_t total_steps() const noexcept { return steps_; }
+  [[nodiscard]] double clock_of_processor(std::uint32_t processor) const {
+    return processors_.at(processor).clock;
+  }
+
+ private:
+  friend struct Proc::OpAwaiter;
+  friend struct Proc::LabelAwaiter;
+  friend class Proc;
+
+  struct Process {
+    std::unique_ptr<Proc> facade;
+    std::optional<Task<void>> root;
+    std::coroutine_handle<> resume_point = nullptr;
+    std::uint32_t processor = 0;
+    bool started = false;
+    bool finished = false;
+    bool frozen = false;
+    const char* label = "";
+    const char* freeze_label = nullptr;
+    double last_step_cost = 0;
+  };
+
+  struct Processor {
+    double clock = 0;
+    double quantum_used = 0;
+    std::vector<std::uint32_t> procs;  // processes multiplexed here
+    std::size_t current = 0;           // round-robin cursor
+  };
+
+  Process& process(std::uint32_t id) { return *processes_.at(id); }
+  [[nodiscard]] const Process& process(std::uint32_t id) const {
+    return *processes_.at(id);
+  }
+
+  /// Apply `op` to memory and charge its cost; called from await_suspend.
+  std::uint64_t execute(std::uint32_t id, const PendingOp& op);
+
+  /// Resume process `id` for one step (it must be runnable).
+  void resume_one(std::uint32_t id);
+
+  EngineConfig config_;
+  SimMemory memory_;
+  CostModel cost_model_;
+  port::Xoshiro256 rng_;
+  std::vector<std::unique_ptr<Process>> processes_;
+  std::vector<Processor> processors_;
+  std::uint64_t steps_ = 0;
+};
+
+}  // namespace msq::sim

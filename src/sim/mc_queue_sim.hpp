@@ -1,0 +1,103 @@
+// Mellor-Crummey's lock-free-but-blocking queue as a simulated step
+// machine (same FAS-list reconstruction as queues/mellor_crummey_queue.hpp:
+// fetch_and_store the Tail claim, then link -- "MC_LINK" marks the blocking
+// window between the two, so the liveness tests can stall a process exactly
+// where the paper says the algorithm degenerates).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "sim/queue_iface.hpp"
+#include "sim/sim_freelist.hpp"
+#include "tagged/tagged_index.hpp"
+
+namespace msq::sim {
+
+class SimMcQueue final : public SimQueue {
+ public:
+  SimMcQueue(Engine& engine, std::uint32_t capacity, double backoff_max = 1024)
+      : engine_(engine),
+        pool_(engine, capacity + 1, 2),
+        head_(engine.memory().alloc(1)),
+        tail_(engine.memory().alloc(1)),
+        backoff_max_(backoff_max) {
+    SimMemory& mem = engine.memory();
+    const auto free_top =
+        tagged::TaggedIndex::from_bits(mem.peek(pool_.free_top_addr()));
+    const std::uint32_t dummy = free_top.index();
+    mem.word(pool_.free_top_addr()) =
+        tagged::TaggedIndex::from_bits(mem.peek(pool_.next_addr(dummy))).bits();
+    mem.word(pool_.next_addr(dummy)) = tagged::TaggedIndex{}.bits();
+    mem.word(head_) = tagged::TaggedIndex(dummy, 0).bits();
+    mem.word(tail_) = tagged::TaggedIndex(dummy, 0).bits();
+  }
+
+  [[nodiscard]] const char* name() const noexcept override { return "MC"; }
+
+  Task<bool> enqueue(Proc& p, std::uint64_t value) override {
+    const std::uint32_t node = co_await pool_.allocate(p);
+    if (node == tagged::kNullIndex) co_return false;
+    co_await p.write(pool_.value_addr(node), value);
+    co_await p.write(pool_.next_addr(node), tagged::TaggedIndex{}.bits());
+    // fetch_and_store: claim the tail position unconditionally.
+    const auto prev = tagged::TaggedIndex::from_bits(
+        co_await p.swap(tail_, tagged::TaggedIndex(node, 0).bits()));
+    co_await p.at("MC_LINK");  // the blocking window
+    co_await p.write(pool_.next_addr(prev.index()),
+                     tagged::TaggedIndex(node, 0).bits());
+    co_return true;
+  }
+
+  Task<std::uint64_t> dequeue(Proc& p) override {
+    SimBackoff backoff(backoff_max_);
+    for (;;) {
+      const auto head = tagged::TaggedIndex::from_bits(co_await p.read(head_));
+      const auto next = tagged::TaggedIndex::from_bits(
+          co_await p.read(pool_.next_addr(head.index())));
+      if (next.is_null()) {
+        const auto tail = tagged::TaggedIndex::from_bits(co_await p.read(tail_));
+        const std::uint64_t head_again = co_await p.read(head_);
+        if (tail.index() == head.index() && head.bits() == head_again) {
+          co_return kEmpty;
+        }
+        // An enqueuer holds the claim on head->next: WAIT for its link.
+        co_await p.work(backoff.next());
+        continue;
+      }
+      const std::uint64_t value = co_await p.read(pool_.value_addr(next.index()));
+      co_await p.at("MC_SWING");
+      const std::uint64_t swung = co_await p.cas(
+          head_, head.bits(), head.successor(next.index()).bits());
+      if (swung == head.bits()) {
+        co_await pool_.free(p, head.index());
+        co_return value;
+      }
+      co_await p.work(backoff.next());
+    }
+  }
+
+  void check_invariants() const override {
+    // The list may legitimately be split mid-link (that IS the algorithm's
+    // blocking window), so connectivity-to-tail cannot be asserted; absence
+    // of cycles from Head can.
+    const SimMemory& mem = engine_.memory();
+    const auto head = tagged::TaggedIndex::from_bits(mem.peek(head_));
+    std::uint32_t hops = 0;
+    for (auto it = head; !it.is_null();
+         it = tagged::TaggedIndex::from_bits(mem.peek(pool_.next_addr(it.index())))) {
+      if (++hops > pool_.capacity() + 1) {
+        throw std::runtime_error("MC invariant: cycle reachable from Head");
+      }
+    }
+  }
+
+ private:
+  Engine& engine_;
+  SimNodePool pool_;
+  Addr head_;
+  Addr tail_;
+  double backoff_max_;
+};
+
+}  // namespace msq::sim

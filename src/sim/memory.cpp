@@ -1,0 +1,11 @@
+#include "sim/memory.hpp"
+
+namespace msq::sim {
+
+Addr sim::SimMemory::alloc(std::uint32_t words) {
+  const Addr base = static_cast<Addr>(words_.size());
+  words_.resize(words_.size() + words, 0);
+  return base;
+}
+
+}  // namespace msq::sim

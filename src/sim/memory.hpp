@@ -1,0 +1,34 @@
+// Simulated shared memory: a flat array of 64-bit words addressed by dense
+// 32-bit addresses.
+//
+// All mutation flows through the engine (one step = one access), so plain
+// (non-atomic) storage is correct: the simulation is sequentially
+// consistent by construction, which matches the model the paper's
+// pseudo-code assumes.  Tests and invariant checkers may peek() freely
+// between steps.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace msq::sim {
+
+using Addr = std::uint32_t;
+
+class SimMemory {
+ public:
+  /// Allocate `words` consecutive words (never freed; the simulator's
+  /// structures recycle nodes through their own simulated free lists, like
+  /// the real algorithms).
+  [[nodiscard]] Addr alloc(std::uint32_t words);
+
+  [[nodiscard]] std::uint64_t& word(Addr a) { return words_.at(a); }
+  [[nodiscard]] std::uint64_t peek(Addr a) const { return words_.at(a); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return words_.size(); }
+
+ private:
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace msq::sim

@@ -1,0 +1,141 @@
+// Figure 1 (the MS non-blocking queue) as a simulated step machine.  One
+// co_await == one shared-memory access == one schedulable step; `co_await
+// p.at("E9")` marks the labelled lines so tests can stall a process exactly
+// there (freeze_at_label) and replay the paper's liveness argument.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "sim/queue_iface.hpp"
+#include "sim/sim_freelist.hpp"
+#include "tagged/tagged_index.hpp"
+
+namespace msq::sim {
+
+class SimMsQueue final : public SimQueue {
+ public:
+  SimMsQueue(Engine& engine, std::uint32_t capacity, double backoff_max = 1024)
+      : engine_(engine),
+        pool_(engine, capacity + 1, /*words_per_node=*/2),
+        head_(engine.memory().alloc(1)),
+        tail_(engine.memory().alloc(1)),
+        backoff_max_(backoff_max) {
+    // initialize(Q) -- performed before any process runs, so raw writes.
+    SimMemory& mem = engine.memory();
+    const auto free_top =
+        tagged::TaggedIndex::from_bits(mem.peek(pool_.free_top_addr()));
+    const std::uint32_t dummy = free_top.index();
+    mem.word(pool_.free_top_addr()) =
+        tagged::TaggedIndex::from_bits(mem.peek(pool_.next_addr(dummy)))
+            .bits();  // pop the dummy off the free list
+    mem.word(pool_.next_addr(dummy)) = tagged::TaggedIndex{}.bits();
+    mem.word(head_) = tagged::TaggedIndex(dummy, 0).bits();
+    mem.word(tail_) = tagged::TaggedIndex(dummy, 0).bits();
+  }
+
+  [[nodiscard]] const char* name() const noexcept override { return "MS"; }
+
+  Task<bool> enqueue(Proc& p, std::uint64_t value) override {
+    const std::uint32_t node = co_await pool_.allocate(p);  // E1
+    if (node == tagged::kNullIndex) co_return false;
+    co_await p.write(pool_.value_addr(node), value);  // E2
+    co_await p.write(pool_.next_addr(node), tagged::TaggedIndex{}.bits());  // E3
+
+    SimBackoff backoff(backoff_max_);
+    for (;;) {  // E4
+      co_await p.at("E5");
+      const auto tail = tagged::TaggedIndex::from_bits(co_await p.read(tail_));
+      const auto next = tagged::TaggedIndex::from_bits(
+          co_await p.read(pool_.next_addr(tail.index())));  // E6
+      // E7: are tail and next consistent?  (NOTE: every co_await is
+      // hoisted into a named local throughout the simulator -- GCC 12
+      // miscompiles co_await inside condition expressions.)
+      const std::uint64_t tail_again = co_await p.read(tail_);
+      if (tail.bits() == tail_again) {
+        if (next.is_null()) {  // E8
+          co_await p.at("E9");
+          const std::uint64_t linked = co_await p.cas(
+              pool_.next_addr(tail.index()), next.bits(),
+              next.successor(node).bits());
+          if (linked == next.bits()) {
+            co_await p.at("E13");
+            co_await p.cas(tail_, tail.bits(), tail.successor(node).bits());
+            co_return true;  // E10
+          }
+          co_await p.work(backoff.next());
+        } else {
+          co_await p.at("E12");
+          co_await p.cas(tail_, tail.bits(), tail.successor(next.index()).bits());
+        }
+      }
+    }
+  }
+
+  Task<std::uint64_t> dequeue(Proc& p) override {
+    SimBackoff backoff(backoff_max_);
+    for (;;) {  // D1
+      co_await p.at("D2");
+      const auto head = tagged::TaggedIndex::from_bits(co_await p.read(head_));
+      const auto tail = tagged::TaggedIndex::from_bits(co_await p.read(tail_));  // D3
+      const auto next = tagged::TaggedIndex::from_bits(
+          co_await p.read(pool_.next_addr(head.index())));  // D4
+      const std::uint64_t head_again = co_await p.read(head_);  // D5
+      if (head.bits() == head_again) {
+        if (head.index() == tail.index()) {         // D6
+          if (next.is_null()) co_return kEmpty;     // D7-D8
+          co_await p.at("D9");
+          co_await p.cas(tail_, tail.bits(), tail.successor(next.index()).bits());
+        } else {
+          const std::uint64_t value =
+              co_await p.read(pool_.value_addr(next.index()));  // D11
+          co_await p.at("D12");
+          const std::uint64_t swung = co_await p.cas(
+              head_, head.bits(), head.successor(next.index()).bits());
+          if (swung == head.bits()) {
+            co_await pool_.free(p, head.index());  // D14
+            co_return value;                       // D13, D15
+          }
+          co_await p.work(backoff.next());
+        }
+      }
+    }
+  }
+
+  /// Paper section 3.1 safety properties, checked structurally:
+  ///  1. the linked list is always connected (head reaches NULL within
+  ///     capacity+1 hops -- no cycle, no dangling link);
+  ///  4. Head points at the first node (trivially, by representation);
+  ///  5. Tail points at a node IN the list.
+  void check_invariants() const override {
+    const SimMemory& mem = engine_.memory();
+    const auto head = tagged::TaggedIndex::from_bits(mem.peek(head_));
+    const auto tail = tagged::TaggedIndex::from_bits(mem.peek(tail_));
+    bool tail_in_list = false;
+    std::uint32_t hops = 0;
+    for (auto it = head; !it.is_null();
+         it = tagged::TaggedIndex::from_bits(mem.peek(pool_.next_addr(it.index())))) {
+      if (it.index() == tail.index()) tail_in_list = true;
+      if (++hops > pool_.capacity() + 1) {
+        throw std::runtime_error("MS invariant: list not connected (cycle)");
+      }
+    }
+    if (!tail_in_list) {
+      throw std::runtime_error("MS invariant: Tail not in the linked list");
+    }
+  }
+
+  [[nodiscard]] Addr head_addr() const noexcept { return head_; }
+  [[nodiscard]] Addr tail_addr() const noexcept { return tail_; }
+  [[nodiscard]] const SimNodePool& node_pool() const noexcept { return pool_; }
+
+ private:
+  Engine& engine_;
+  SimNodePool pool_;
+  Addr head_;
+  Addr tail_;
+  double backoff_max_;
+};
+
+}  // namespace msq::sim

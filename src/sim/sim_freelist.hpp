@@ -1,0 +1,83 @@
+// Simulated node pool + Treiber free list, the allocation substrate shared
+// by the simulated list-based queues (mirrors mem/node_pool.hpp +
+// mem/freelist.hpp).
+//
+// Node layout (in simulated words): [0]=value, [1]=next (TaggedIndex bits),
+// [2..]=algorithm extras (e.g. the Valois reference count).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+#include "tagged/tagged_index.hpp"
+
+namespace msq::sim {
+
+class SimNodePool {
+ public:
+  static constexpr std::uint32_t kValueWord = 0;
+  static constexpr std::uint32_t kNextWord = 1;
+
+  SimNodePool(Engine& engine, std::uint32_t capacity,
+              std::uint32_t words_per_node)
+      : capacity_(capacity),
+        words_per_node_(words_per_node),
+        base_(engine.memory().alloc(capacity * words_per_node)),
+        free_top_(engine.memory().alloc(1)) {
+    // Thread every node onto the free list (construction is single-site;
+    // raw memory writes, no simulated cost -- matches the paper's
+    // pre-initialised free list).
+    SimMemory& mem = engine.memory();
+    tagged::TaggedIndex top{};
+    for (std::uint32_t i = 0; i < capacity; ++i) {
+      mem.word(next_addr(i)) = tagged::TaggedIndex(top.index(), 0).bits();
+      top = top.successor(i);
+    }
+    mem.word(free_top_) = top.bits();
+  }
+
+  [[nodiscard]] std::uint32_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] Addr value_addr(std::uint32_t node) const noexcept {
+    return base_ + node * words_per_node_ + kValueWord;
+  }
+  [[nodiscard]] Addr next_addr(std::uint32_t node) const noexcept {
+    return base_ + node * words_per_node_ + kNextWord;
+  }
+  [[nodiscard]] Addr extra_addr(std::uint32_t node, std::uint32_t slot) const noexcept {
+    return base_ + node * words_per_node_ + 2 + slot;
+  }
+  [[nodiscard]] Addr free_top_addr() const noexcept { return free_top_; }
+
+  /// Treiber pop (lock-free).  Returns tagged::kNullIndex when exhausted.
+  Task<std::uint32_t> allocate(Proc& p) {
+    for (;;) {
+      const auto top = tagged::TaggedIndex::from_bits(co_await p.read(free_top_));
+      if (top.is_null()) co_return tagged::kNullIndex;
+      const auto next =
+          tagged::TaggedIndex::from_bits(co_await p.read(next_addr(top.index())));
+      const std::uint64_t old = co_await p.cas(
+          free_top_, top.bits(), top.successor(next.index()).bits());
+      if (old == top.bits()) co_return top.index();
+    }
+  }
+
+  /// Treiber push.
+  Task<void> free(Proc& p, std::uint32_t node) {
+    for (;;) {
+      const auto top = tagged::TaggedIndex::from_bits(co_await p.read(free_top_));
+      co_await p.write(next_addr(node), tagged::TaggedIndex(top.index(), 0).bits());
+      const std::uint64_t old =
+          co_await p.cas(free_top_, top.bits(), top.successor(node).bits());
+      if (old == top.bits()) co_return;
+    }
+  }
+
+ private:
+  std::uint32_t capacity_;
+  std::uint32_t words_per_node_;
+  Addr base_;
+  Addr free_top_;
+};
+
+}  // namespace msq::sim

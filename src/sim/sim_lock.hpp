@@ -1,0 +1,40 @@
+// Simulated test-and-test_and_set lock with bounded exponential backoff --
+// the lock of the paper's evaluation, as a coroutine over one sim word.
+#pragma once
+
+#include "sim/engine.hpp"
+#include "sim/queue_iface.hpp"
+#include "sim/task.hpp"
+
+namespace msq::sim {
+
+class SimTatasLock {
+ public:
+  SimTatasLock(Engine& engine, double backoff_max = 1024)
+      : word_(engine.memory().alloc(1)), backoff_max_(backoff_max) {}
+
+  Task<void> lock(Proc& p) {
+    SimBackoff backoff(backoff_max_);
+    for (;;) {
+      // Local spin on the cached copy until the lock looks free.
+      for (;;) {
+        const std::uint64_t seen = co_await p.read(word_);
+        if (seen == 0) break;
+        co_await p.work(backoff.next());
+      }
+      const std::uint64_t old = co_await p.cas(word_, 0, 1);
+      if (old == 0) co_return;
+      co_await p.work(backoff.next());  // lost the race to another RMW
+    }
+  }
+
+  Task<void> unlock(Proc& p) { co_await p.write(word_, 0); }
+
+  [[nodiscard]] Addr addr() const noexcept { return word_; }
+
+ private:
+  Addr word_;
+  double backoff_max_;
+};
+
+}  // namespace msq::sim

@@ -1,0 +1,123 @@
+// Minimal lazy coroutine task with symmetric transfer, used to express the
+// simulated algorithms in near-pseudo-code form.
+//
+// Why coroutines: the simulator needs each virtual process to advance in
+// steps of exactly one shared-memory access, under an externally chosen
+// schedule.  Hand-written step machines for six queue algorithms would be
+// unreadable and unauditable; with coroutines each algorithm reads like the
+// paper's Figure 1/2 pseudo-code, and every `co_await proc.read(...)` /
+// `cas(...)` is a scheduling point (sim/engine.hpp owns the schedule).
+//
+// Task<T> is lazy: it starts when awaited (symmetric transfer into the
+// child) and resumes its awaiter on completion, so nesting (workload ->
+// queue operation -> lock acquisition) costs no scheduler round-trips.
+//
+// TOOLCHAIN CONSTRAINT: GCC 12 miscompiles `co_await` appearing inside a
+// condition expression (`if (co_await x == y)`, `while (!co_await f())`):
+// the suspension is silently skipped and the coroutine state machine is
+// corrupted (observed as wrong results, double resumes, SIGILL).  Every
+// co_await in this codebase is therefore hoisted into its own statement
+// (`const auto v = co_await x; if (v == y) ...`) -- keep it that way.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+namespace msq::sim {
+
+template <typename T>
+class [[nodiscard]] Task;
+
+namespace detail {
+
+struct FinalAwaiter {
+  bool await_ready() const noexcept { return false; }
+  template <typename Promise>
+  std::coroutine_handle<> await_suspend(
+      std::coroutine_handle<Promise> h) noexcept {
+    std::coroutine_handle<> cont = h.promise().continuation;
+    return cont ? cont : std::noop_coroutine();
+  }
+  void await_resume() const noexcept {}
+};
+
+struct PromiseBase {
+  std::coroutine_handle<> continuation = nullptr;
+  std::suspend_always initial_suspend() const noexcept { return {}; }
+  FinalAwaiter final_suspend() const noexcept { return {}; }
+  void unhandled_exception() const noexcept { std::terminate(); }
+};
+
+}  // namespace detail
+
+template <typename T = void>
+class [[nodiscard]] Task {
+ public:
+  struct promise_type : detail::PromiseBase {
+    T value{};
+    Task get_return_object() noexcept {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_value(T v) noexcept { value = std::move(v); }
+  };
+
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  Task& operator=(Task&&) = delete;
+  ~Task() {
+    if (handle_) handle_.destroy();
+  }
+
+  // Awaiting starts the child and transfers control into it.
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> awaiting) noexcept {
+    handle_.promise().continuation = awaiting;
+    return handle_;
+  }
+  T await_resume() noexcept { return std::move(handle_.promise().value); }
+
+  /// Root-task interface for the engine: start without an awaiter.
+  void start() noexcept { handle_.resume(); }
+  [[nodiscard]] bool done() const noexcept { return handle_.done(); }
+
+ private:
+  explicit Task(std::coroutine_handle<promise_type> h) noexcept : handle_(h) {}
+  std::coroutine_handle<promise_type> handle_;
+};
+
+template <>
+class [[nodiscard]] Task<void> {
+ public:
+  struct promise_type : detail::PromiseBase {
+    Task get_return_object() noexcept {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_void() const noexcept {}
+  };
+
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  Task& operator=(Task&&) = delete;
+  ~Task() {
+    if (handle_) handle_.destroy();
+  }
+
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> awaiting) noexcept {
+    handle_.promise().continuation = awaiting;
+    return handle_;
+  }
+  void await_resume() const noexcept {}
+
+  void start() noexcept { handle_.resume(); }
+  [[nodiscard]] bool done() const noexcept { return handle_.done(); }
+
+ private:
+  explicit Task(std::coroutine_handle<promise_type> h) noexcept : handle_(h) {}
+  std::coroutine_handle<promise_type> handle_;
+};
+
+}  // namespace msq::sim

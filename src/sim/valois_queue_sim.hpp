@@ -1,0 +1,202 @@
+// Valois's reference-counted non-blocking queue as a simulated step
+// machine, mirroring queues/valois_queue.hpp + mem/refcount_pool.hpp
+// (TR 599-corrected).  Node layout: [value, next, refct] where refct is
+// (count << 1 | claim).
+//
+// This is deliberately the most memory-traffic-heavy algorithm in the
+// simulator: every SafeRead is read + FAA + re-read, every Release a CAS
+// loop -- which is why the paper calls it "comparatively inefficient" yet
+// still worth benchmarking (it stays non-blocking under multiprogramming).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "sim/queue_iface.hpp"
+#include "sim/sim_freelist.hpp"
+#include "tagged/tagged_index.hpp"
+
+namespace msq::sim {
+
+class SimValoisQueue final : public SimQueue {
+ public:
+  SimValoisQueue(Engine& engine, std::uint32_t capacity,
+                 double backoff_max = 1024)
+      : engine_(engine),
+        pool_(engine, capacity + 1, /*words_per_node=*/3),
+        head_(engine.memory().alloc(1)),
+        tail_(engine.memory().alloc(1)),
+        backoff_max_(backoff_max) {
+    SimMemory& mem = engine.memory();
+    // All nodes start claimed (in the free list).
+    for (std::uint32_t i = 0; i < pool_.capacity(); ++i) {
+      mem.word(refct_addr(i)) = 1;
+    }
+    // Pop the dummy raw; count 2 = Head link + Tail link, claim clear.
+    const auto free_top =
+        tagged::TaggedIndex::from_bits(mem.peek(pool_.free_top_addr()));
+    const std::uint32_t dummy = free_top.index();
+    mem.word(pool_.free_top_addr()) =
+        tagged::TaggedIndex::from_bits(mem.peek(pool_.next_addr(dummy))).bits();
+    mem.word(pool_.next_addr(dummy)) = tagged::TaggedIndex{}.bits();
+    mem.word(refct_addr(dummy)) = 4;  // two references
+    mem.word(head_) = tagged::TaggedIndex(dummy, 0).bits();
+    mem.word(tail_) = tagged::TaggedIndex(dummy, 0).bits();
+  }
+
+  [[nodiscard]] const char* name() const noexcept override { return "Valois"; }
+
+  Task<bool> enqueue(Proc& p, std::uint64_t value) override {
+    const std::uint32_t node = co_await allocate(p);
+    if (node == tagged::kNullIndex) co_return false;
+    co_await p.write(pool_.value_addr(node), value);
+    co_await p.write(pool_.next_addr(node), tagged::TaggedIndex{}.bits());
+
+    SimBackoff backoff(backoff_max_);
+    for (;;) {
+      const auto tail = co_await safe_read(p, tail_);
+      const auto next = tagged::TaggedIndex::from_bits(
+          co_await p.read(pool_.next_addr(tail.index())));
+      if (next.is_null()) {
+        co_await p.at("V_LINK");
+        const bool linked =
+            co_await rc_cas(p, pool_.next_addr(tail.index()), next, node);
+        if (linked) {
+          // Single attempt to swing Tail; failure lets Tail lag (safely,
+          // thanks to the reference counts).
+          co_await rc_cas(p, tail_, tail, node);
+          co_await release(p, tail.index());
+          break;
+        }
+        co_await p.work(backoff.next());
+      } else {
+        co_await rc_cas(p, tail_, tail, next.index());  // help Tail forward
+      }
+      co_await release(p, tail.index());
+    }
+    co_await release(p, node);  // drop the allocation reference
+    co_return true;
+  }
+
+  Task<std::uint64_t> dequeue(Proc& p) override {
+    SimBackoff backoff(backoff_max_);
+    for (;;) {
+      const auto head = co_await safe_read(p, head_);
+      const auto first = co_await safe_read_cell(p, pool_.next_addr(head.index()));
+      if (first.is_null()) {
+        co_await release(p, head.index());
+        co_return kEmpty;
+      }
+      co_await p.at("V_SWING");
+      const bool swung = co_await rc_cas(p, head_, head, first.index());
+      if (swung) {
+        const std::uint64_t value =
+            co_await p.read(pool_.value_addr(first.index()));
+        co_await release(p, head.index());
+        co_await release(p, first.index());
+        co_return value;
+      }
+      co_await release(p, head.index());
+      co_await release(p, first.index());
+      co_await p.work(backoff.next());
+    }
+  }
+
+  void check_invariants() const override {
+    const SimMemory& mem = engine_.memory();
+    const auto head = tagged::TaggedIndex::from_bits(mem.peek(head_));
+    const auto tail = tagged::TaggedIndex::from_bits(mem.peek(tail_));
+    std::uint32_t hops = 0;
+    for (auto it = head; !it.is_null();
+         it = tagged::TaggedIndex::from_bits(mem.peek(pool_.next_addr(it.index())))) {
+      if (++hops > pool_.capacity() + 1) {
+        throw std::runtime_error("Valois invariant: list not connected");
+      }
+    }
+    // Nodes referenced by Head/Tail must be live (claim bit clear, count>0).
+    for (const auto ptr : {head, tail}) {
+      const std::uint64_t rc = mem.peek(refct_addr(ptr.index()));
+      if ((rc & 1) != 0 || rc < 2) {
+        throw std::runtime_error("Valois invariant: live pointer to claimed node");
+      }
+    }
+  }
+
+ private:
+  [[nodiscard]] Addr refct_addr(std::uint32_t node) const noexcept {
+    return pool_.extra_addr(node, 0);
+  }
+
+  /// Allocate with the TR 599 claim-clearing add (+2 ref, -1 claim).
+  Task<std::uint32_t> allocate(Proc& p) {
+    const std::uint32_t node = co_await pool_.allocate(p);
+    if (node != tagged::kNullIndex) {
+      co_await p.faa(refct_addr(node), 1);
+    }
+    co_return node;
+  }
+
+  Task<tagged::TaggedIndex> safe_read(Proc& p, Addr shared_ptr_cell) {
+    co_return co_await safe_read_cell(p, shared_ptr_cell);
+  }
+
+  /// Valois SafeRead: increment-then-revalidate.
+  Task<tagged::TaggedIndex> safe_read_cell(Proc& p, Addr cell) {
+    for (;;) {
+      const auto seen = tagged::TaggedIndex::from_bits(co_await p.read(cell));
+      if (seen.is_null()) co_return seen;
+      co_await p.faa(refct_addr(seen.index()), 2);
+      const std::uint64_t again = co_await p.read(cell);
+      if (again == seen.bits()) co_return seen;
+      co_await release(p, seen.index());
+    }
+  }
+
+  /// DecrementAndTestAndSet + recursive reclamation.
+  Task<void> release(Proc& p, std::uint32_t node) {
+    if (node == tagged::kNullIndex) co_return;
+    std::uint32_t current = node;
+    for (;;) {  // iterative tail-recursion over the reclamation chain
+      bool reclaim = false;
+      for (;;) {
+        const std::uint64_t old = co_await p.read(refct_addr(current));
+        const std::uint64_t desired = (old == 2) ? 1 : old - 2;
+        const std::uint64_t swapped = co_await p.cas(refct_addr(current), old, desired);
+        if (swapped == old) {
+          reclaim = (old == 2);
+          break;
+        }
+      }
+      if (!reclaim) co_return;
+      // Sole owner of a dead node: grab its outgoing link, recycle it,
+      // then release the link target (the pinning cascade).
+      const auto next = tagged::TaggedIndex::from_bits(
+          co_await p.read(pool_.next_addr(current)));
+      co_await pool_.free(p, current);
+      if (next.is_null()) co_return;
+      current = next.index();
+    }
+  }
+
+  /// CAS of a shared link with CopyRef/Release bookkeeping.
+  Task<bool> rc_cas(Proc& p, Addr cell, tagged::TaggedIndex expected,
+                    std::uint32_t new_index) {
+    co_await p.faa(refct_addr(new_index), 2);  // reference for the new link
+    const std::uint64_t old = co_await p.cas(
+        cell, expected.bits(), expected.successor(new_index).bits());
+    if (old == expected.bits()) {
+      if (!expected.is_null()) co_await release(p, expected.index());
+      co_return true;
+    }
+    co_await release(p, new_index);
+    co_return false;
+  }
+
+  Engine& engine_;
+  SimNodePool pool_;
+  Addr head_;
+  Addr tail_;
+  double backoff_max_;
+};
+
+}  // namespace msq::sim

@@ -1,0 +1,60 @@
+// Bounded exponential backoff (paper section 4).
+//
+// "For the two lock-based algorithms we use test-and-test_and_set locks with
+//  bounded exponential backoff.  We also use backoff where appropriate in the
+//  non-lock-based algorithms.  Performance was not sensitive to the exact
+//  choice of backoff parameters in programs that do at least a modest amount
+//  of work between queue operations."
+//
+// Every contended retry loop in the library (lock acquisition, failed CAS)
+// takes a Backoff by value and calls pause() on failure.  The ablation bench
+// (bench/ablate_backoff) swaps in NullBackoff to quantify the paper's claim.
+#pragma once
+
+#include <cstdint>
+
+#include "port/cpu.hpp"
+#include "port/prng.hpp"
+
+namespace msq::sync {
+
+/// Exponential backoff with an upper bound and uniform jitter.
+/// Doubles the window on every pause() up to `max_spins`; spins a uniformly
+/// random number of cpu_relax() iterations within the current window
+/// (randomisation desynchronises competitors, per Anderson [1]).
+class Backoff {
+ public:
+  struct Params {
+    std::uint32_t min_spins = 4;
+    std::uint32_t max_spins = 1024;
+  };
+
+  Backoff() noexcept : Backoff(Params{}) {}
+  explicit Backoff(Params p, std::uint64_t seed = 0xb0ff5eed) noexcept
+      : params_(p), window_(p.min_spins), rng_(seed) {}
+
+  /// Wait one backoff episode and widen the window.
+  void pause() noexcept {
+    const std::uint64_t spins = 1 + rng_.below(window_);
+    for (std::uint64_t i = 0; i < spins; ++i) port::cpu_relax();
+    if (window_ < params_.max_spins) window_ *= 2;
+  }
+
+  /// Forget accumulated contention history (call after success).
+  void reset() noexcept { window_ = params_.min_spins; }
+
+ private:
+  Params params_;
+  std::uint32_t window_;
+  port::Xoshiro256 rng_;
+};
+
+/// Drop-in no-op used by the backoff ablation and by tests that need
+/// maximal interleaving pressure.
+class NullBackoff {
+ public:
+  void pause() noexcept { port::cpu_relax(); }
+  void reset() noexcept {}
+};
+
+}  // namespace msq::sync

@@ -1,0 +1,153 @@
+// MCS list-based queue lock (Mellor-Crummey & Scott [12]).
+//
+// Each waiter spins on its *own* qnode, so under contention only one cache
+// line per waiter bounces.  This is the lock that made the authors' earlier
+// work famous and is the natural "good lock" point of comparison for the
+// two-lock queue; the lock tests and ablations use it interchangeably with
+// TatasLock through the shared Lockable concept.
+//
+// Usage differs from std::mutex: each lock()/unlock() pair needs a QNode
+// owned by the acquiring thread.  The Guard RAII type supplies one from the
+// stack, which is the idiomatic pattern (the qnode only needs to live for
+// the duration of the critical section).
+#pragma once
+
+#include <atomic>
+#include <thread>
+
+#include "port/cpu.hpp"
+
+namespace msq::sync {
+
+class McsLock {
+ public:
+  struct QNode {
+    std::atomic<QNode*> next{nullptr};
+    std::atomic<bool> locked{false};
+  };
+
+  McsLock() noexcept = default;
+  McsLock(const McsLock&) = delete;
+  McsLock& operator=(const McsLock&) = delete;
+
+  void lock(QNode& node) noexcept {
+    node.next.store(nullptr, std::memory_order_relaxed);
+    node.locked.store(true, std::memory_order_relaxed);
+    QNode* prev = tail_.exchange(&node, std::memory_order_acq_rel);
+    if (prev != nullptr) {
+      prev->next.store(&node, std::memory_order_release);
+      // Queue locks hand off to one SPECIFIC waiter; on an oversubscribed
+      // machine that waiter must actually get scheduled, so fall back to
+      // yielding after a short local spin (the paper's multiprogramming
+      // pathology, mitigated).
+      int spins = 0;
+      while (node.locked.load(std::memory_order_acquire)) {
+        if (++spins < 1024) {
+          port::cpu_relax();
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    }
+  }
+
+  bool try_lock(QNode& node) noexcept {
+    node.next.store(nullptr, std::memory_order_relaxed);
+    QNode* expected = nullptr;
+    return tail_.compare_exchange_strong(expected, &node,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_relaxed);
+  }
+
+  void unlock(QNode& node) noexcept {
+    QNode* successor = node.next.load(std::memory_order_acquire);
+    if (successor == nullptr) {
+      QNode* expected = &node;
+      if (tail_.compare_exchange_strong(expected, nullptr,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_relaxed)) {
+        return;  // no waiter
+      }
+      // A waiter swapped itself in but has not linked yet; wait for the link.
+      int spins = 0;
+      while ((successor = node.next.load(std::memory_order_acquire)) == nullptr) {
+        if (++spins < 1024) {
+          port::cpu_relax();
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    }
+    successor->locked.store(false, std::memory_order_release);
+  }
+
+  /// RAII adapter that makes McsLock satisfy the same scoped-usage pattern
+  /// as the other locks (CP.20: use RAII, never plain lock/unlock).
+  class Guard {
+   public:
+    explicit Guard(McsLock& lock) noexcept : lock_(lock) { lock_.lock(node_); }
+    ~Guard() { lock_.unlock(node_); }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+   private:
+    McsLock& lock_;
+    QNode node_;
+  };
+
+ private:
+  std::atomic<QNode*> tail_{nullptr};
+};
+
+/// Adapter giving McsLock the BasicLockable interface (lock()/unlock() with
+/// no explicit qnode) so it can parameterise the lock-based queues.  Each
+/// thread keeps a small stack of qnodes so that holding several *different*
+/// McsMutexes (LIFO-nested, as scoped locking guarantees) is safe; the node
+/// in use for this mutex is remembered in the mutex itself, which only the
+/// current holder touches.
+class McsMutex {
+ public:
+  void lock() noexcept {
+    McsLock::QNode& node = acquire_node();
+    lock_.lock(node);
+    holder_ = &node;
+  }
+
+  bool try_lock() noexcept {
+    McsLock::QNode& node = acquire_node();
+    if (lock_.try_lock(node)) {
+      holder_ = &node;
+      return true;
+    }
+    release_node();
+    return false;
+  }
+
+  void unlock() noexcept {
+    McsLock::QNode* node = holder_;
+    holder_ = nullptr;
+    lock_.unlock(*node);
+    release_node();
+  }
+
+ private:
+  static constexpr int kMaxNested = 8;
+  struct NodeStack {
+    McsLock::QNode nodes[kMaxNested];
+    int depth = 0;
+  };
+  static NodeStack& tls_stack() noexcept {
+    thread_local NodeStack stack;
+    return stack;
+  }
+  static McsLock::QNode& acquire_node() noexcept {
+    NodeStack& s = tls_stack();
+    return s.nodes[s.depth++ % kMaxNested];
+  }
+  static void release_node() noexcept { --tls_stack().depth; }
+
+  McsLock lock_;
+  McsLock::QNode* holder_ = nullptr;
+};
+
+}  // namespace msq::sync

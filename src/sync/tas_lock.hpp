@@ -1,0 +1,39 @@
+// Plain test_and_set spin lock.
+//
+// The paper's motivation for the two-lock queue is machines whose only
+// universal-ish primitive is test_and_set; this is the simplest such lock.
+// It generates coherence traffic on every failed attempt (each test_and_set
+// is a write), which is why TatasLock (test-and-test_and_set) is what the
+// paper actually benchmarks.  Kept as a baseline and for the lock tests.
+#pragma once
+
+#include <atomic>
+
+#include "sync/backoff.hpp"
+
+namespace msq::sync {
+
+class TasLock {
+ public:
+  TasLock() noexcept = default;
+  TasLock(const TasLock&) = delete;
+  TasLock& operator=(const TasLock&) = delete;
+
+  void lock() noexcept {
+    Backoff backoff;
+    while (flag_.test_and_set(std::memory_order_acquire)) {
+      backoff.pause();
+    }
+  }
+
+  bool try_lock() noexcept {
+    return !flag_.test_and_set(std::memory_order_acquire);
+  }
+
+  void unlock() noexcept { flag_.clear(std::memory_order_release); }
+
+ private:
+  std::atomic_flag flag_ = ATOMIC_FLAG_INIT;
+};
+
+}  // namespace msq::sync

@@ -1,0 +1,49 @@
+// Test-and-test_and_set lock with bounded exponential backoff.
+//
+// This is the exact lock the paper uses for its lock-based algorithms
+// (section 4, citing Mellor-Crummey & Scott [12] and Anderson [1]): spin
+// reading the flag locally (cache hit) and only attempt the atomic RMW when
+// the flag is observed free; back off exponentially after a failed RMW.
+#pragma once
+
+#include <atomic>
+
+#include "sync/backoff.hpp"
+
+namespace msq::sync {
+
+template <typename BackoffPolicy = Backoff>
+class BasicTatasLock {
+ public:
+  BasicTatasLock() noexcept = default;
+  BasicTatasLock(const BasicTatasLock&) = delete;
+  BasicTatasLock& operator=(const BasicTatasLock&) = delete;
+
+  void lock() noexcept {
+    BackoffPolicy backoff;
+    for (;;) {
+      // Local spin: read-only, stays in this processor's cache until the
+      // holder's release invalidates the line.
+      while (locked_.load(std::memory_order_relaxed)) {
+        port::cpu_relax();
+      }
+      if (!locked_.exchange(true, std::memory_order_acquire)) return;
+      backoff.pause();  // RMW lost a race: somebody grabbed it first
+    }
+  }
+
+  bool try_lock() noexcept {
+    return !locked_.load(std::memory_order_relaxed) &&
+           !locked_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() noexcept { locked_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> locked_{false};
+};
+
+using TatasLock = BasicTatasLock<Backoff>;
+using TatasLockNoBackoff = BasicTatasLock<NullBackoff>;
+
+}  // namespace msq::sync

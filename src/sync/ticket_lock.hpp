@@ -1,0 +1,59 @@
+// Ticket lock: FIFO-fair spin lock built from fetch_and_increment.
+//
+// Included as the classic fair alternative discussed in the scalable-
+// synchronisation literature the paper builds on [12].  Fairness makes it
+// the worst case under multiprogramming (the thread whose turn it is may be
+// preempted, stalling everyone behind it), which the multiprogrammed benches
+// demonstrate.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "port/cpu.hpp"
+
+namespace msq::sync {
+
+class TicketLock {
+ public:
+  TicketLock() noexcept = default;
+  TicketLock(const TicketLock&) = delete;
+  TicketLock& operator=(const TicketLock&) = delete;
+
+  void lock() noexcept {
+    const std::uint32_t my = next_.fetch_add(1, std::memory_order_relaxed);
+    std::uint32_t rounds = 0;
+    while (serving_.load(std::memory_order_acquire) != my) {
+      // Proportional backoff: spin roughly in proportion to queue distance;
+      // like the MCS lock, hand-off is to a SPECIFIC waiter, so yield once
+      // the wait outlives a short spin (oversubscribed hosts).
+      const std::uint32_t ahead = my - serving_.load(std::memory_order_relaxed);
+      if (++rounds > 256) {
+        std::this_thread::yield();
+        continue;
+      }
+      for (std::uint32_t i = 0; i < ahead * 8 + 1; ++i) port::cpu_relax();
+    }
+  }
+
+  bool try_lock() noexcept {
+    std::uint32_t s = serving_.load(std::memory_order_relaxed);
+    std::uint32_t expected = s;
+    // Succeed only if no one is waiting: next == serving and we can claim it.
+    return next_.compare_exchange_strong(expected, s + 1,
+                                         std::memory_order_acquire,
+                                         std::memory_order_relaxed);
+  }
+
+  void unlock() noexcept {
+    serving_.store(serving_.load(std::memory_order_relaxed) + 1,
+                   std::memory_order_release);
+  }
+
+ private:
+  std::atomic<std::uint32_t> next_{0};
+  alignas(port::kCacheLine) std::atomic<std::uint32_t> serving_{0};
+};
+
+}  // namespace msq::sync

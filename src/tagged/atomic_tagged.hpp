@@ -1,0 +1,53 @@
+// Atomic cell holding a TaggedIndex, wrapping std::atomic<uint64_t>.
+//
+// The read/CAS discipline mirrors the paper's pseudo-code: loads return the
+// (index, count) pair read atomically in one word ("Read Tail.ptr and
+// Tail.count together"), and compare-and-swap succeeds only if both match.
+#pragma once
+
+#include <atomic>
+
+#include "tagged/tagged_index.hpp"
+
+namespace msq::tagged {
+
+class AtomicTagged {
+ public:
+  AtomicTagged() noexcept = default;
+  explicit AtomicTagged(TaggedIndex initial) noexcept : bits_(initial.bits()) {}
+  AtomicTagged(const AtomicTagged&) = delete;
+  AtomicTagged& operator=(const AtomicTagged&) = delete;
+
+  [[nodiscard]] TaggedIndex load(
+      std::memory_order order = std::memory_order_acquire) const noexcept {
+    return TaggedIndex::from_bits(bits_.load(order));
+  }
+
+  void store(TaggedIndex value,
+             std::memory_order order = std::memory_order_release) noexcept {
+    bits_.store(value.bits(), order);
+  }
+
+  /// Unconditional swap (fetch_and_store); returns the previous value.
+  /// Used by the Mellor-Crummey queue's tail claim, which by construction
+  /// needs no counter discipline (the swap cannot spuriously succeed).
+  TaggedIndex exchange(TaggedIndex desired,
+                       std::memory_order order = std::memory_order_acq_rel) noexcept {
+    return TaggedIndex::from_bits(bits_.exchange(desired.bits(), order));
+  }
+
+  /// Single-word CAS over the packed (index, count) pair.
+  bool compare_and_swap(TaggedIndex expected, TaggedIndex desired) noexcept {
+    std::uint64_t exp = expected.bits();
+    return bits_.compare_exchange_strong(exp, desired.bits(),
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<std::uint64_t> bits_{TaggedIndex{}.bits()};
+};
+
+static_assert(sizeof(AtomicTagged) == 8);
+
+}  // namespace msq::tagged

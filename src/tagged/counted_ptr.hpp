@@ -1,0 +1,77 @@
+// 128-bit counted pointer: a real T* packed with a 64-bit modification
+// counter, CASed with x86-64 cmpxchg16b (the paper's "double-word
+// compare_and_swap" option).
+//
+// We use the __sync builtin on unsigned __int128 rather than
+// std::atomic<struct>, because GCC lowers the latter to libatomic calls that
+// may take a lock; __sync_val_compare_and_swap with -mcx16 emits an inline
+// cmpxchg16b, which is the lock-free primitive the algorithms require.
+#pragma once
+
+#include <cstdint>
+
+namespace msq::tagged {
+
+template <typename T>
+struct CountedPtr {
+  T* ptr = nullptr;
+  std::uint64_t count = 0;
+
+  friend constexpr bool operator==(CountedPtr, CountedPtr) noexcept = default;
+
+  [[nodiscard]] constexpr CountedPtr successor(T* new_ptr) const noexcept {
+    return CountedPtr{new_ptr, count + 1};
+  }
+};
+
+/// 16-byte-aligned atomic cell for CountedPtr<T> driven by cmpxchg16b.
+template <typename T>
+class alignas(16) AtomicCountedPtr {
+ public:
+  AtomicCountedPtr() noexcept = default;
+  explicit AtomicCountedPtr(CountedPtr<T> initial) noexcept
+      : bits_(pack(initial)) {}
+  AtomicCountedPtr(const AtomicCountedPtr&) = delete;
+  AtomicCountedPtr& operator=(const AtomicCountedPtr&) = delete;
+
+  /// Atomic 128-bit load.  Implemented as CAS(x, x): on x86-64 there is no
+  /// plain 16-byte atomic load pre-AVX guarantees, and the algorithms only
+  /// ever need a consistent snapshot, which this provides.
+  [[nodiscard]] CountedPtr<T> load() const noexcept {
+    unsigned __int128 v = __sync_val_compare_and_swap(&bits_, 0, 0);
+    return unpack(v);
+  }
+
+  void store(CountedPtr<T> value) noexcept {
+    unsigned __int128 expected = bits_;
+    const unsigned __int128 desired = pack(value);
+    for (;;) {
+      unsigned __int128 prev =
+          __sync_val_compare_and_swap(&bits_, expected, desired);
+      if (prev == expected) return;
+      expected = prev;
+    }
+  }
+
+  bool compare_and_swap(CountedPtr<T> expected, CountedPtr<T> desired) noexcept {
+    return __sync_bool_compare_and_swap(&bits_, pack(expected), pack(desired));
+  }
+
+ private:
+  static unsigned __int128 pack(CountedPtr<T> v) noexcept {
+    return static_cast<unsigned __int128>(reinterpret_cast<std::uintptr_t>(v.ptr)) |
+           (static_cast<unsigned __int128>(v.count) << 64);
+  }
+  static CountedPtr<T> unpack(unsigned __int128 bits) noexcept {
+    return CountedPtr<T>{
+        reinterpret_cast<T*>(static_cast<std::uintptr_t>(
+            static_cast<std::uint64_t>(bits))),
+        static_cast<std::uint64_t>(bits >> 64)};
+  }
+
+  mutable unsigned __int128 bits_ = 0;
+};
+
+static_assert(sizeof(AtomicCountedPtr<int>) == 16);
+
+}  // namespace msq::tagged

@@ -1,0 +1,94 @@
+// Tests for the function-shipping queue (paper section 5's "function
+// shipping to a centralized manager" comparison mechanism).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "check/invariants.hpp"
+#include "queues/function_shipping_queue.hpp"
+
+namespace msq::queues {
+namespace {
+
+TEST(FunctionShipping, SequentialFifo) {
+  FunctionShippingQueue<std::uint64_t> queue(16);
+  std::uint64_t out = 0;
+  EXPECT_FALSE(queue.try_dequeue(out));
+  for (std::uint64_t i = 0; i < 10; ++i) ASSERT_TRUE(queue.try_enqueue(i));
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(queue.try_dequeue(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(queue.try_dequeue(out));
+}
+
+TEST(FunctionShipping, CapacityIsExact) {
+  FunctionShippingQueue<std::uint64_t> queue(4);
+  for (std::uint64_t i = 0; i < 4; ++i) ASSERT_TRUE(queue.try_enqueue(i));
+  EXPECT_FALSE(queue.try_enqueue(99));
+  std::uint64_t out = 0;
+  ASSERT_TRUE(queue.try_dequeue(out));
+  EXPECT_EQ(out, 0u);
+  EXPECT_TRUE(queue.try_enqueue(99));
+}
+
+TEST(FunctionShipping, SatisfiesConceptAndTraits) {
+  static_assert(ConcurrentQueue<FunctionShippingQueue<std::uint64_t>>);
+  EXPECT_EQ(FunctionShippingQueue<int>::traits.progress, Progress::kBlocking);
+  EXPECT_TRUE(FunctionShippingQueue<int>::traits.linearizable);
+}
+
+TEST(FunctionShipping, ConcurrentClientsConserveValues) {
+  FunctionShippingQueue<std::uint64_t> queue(256);
+  constexpr std::uint32_t kThreads = 4;
+  constexpr std::uint64_t kPairs = 5'000;
+  std::atomic<std::uint64_t> enqueued{0}, dequeued{0};
+  {
+    std::vector<std::jthread> threads;
+    for (std::uint32_t t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        std::uint64_t out = 0;
+        for (std::uint64_t i = 0; i < kPairs; ++i) {
+          if (queue.try_enqueue(check::encode_value(t, i))) {
+            enqueued.fetch_add(1, std::memory_order_relaxed);
+          }
+          if (queue.try_dequeue(out)) {
+            dequeued.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+  }
+  std::uint64_t out = 0;
+  std::uint64_t drained = 0;
+  while (queue.try_dequeue(out)) ++drained;
+  EXPECT_EQ(enqueued.load(), dequeued.load() + drained);
+}
+
+TEST(FunctionShipping, ManyInstancesOnOneThreadDoNotAlias) {
+  // The slot cache is keyed by queue id, not address: create and destroy
+  // several queues at (likely) the same address and keep using them from
+  // this one thread.
+  for (int round = 0; round < 10; ++round) {
+    FunctionShippingQueue<std::uint64_t> queue(4);
+    ASSERT_TRUE(queue.try_enqueue(round));
+    std::uint64_t out = 0;
+    ASSERT_TRUE(queue.try_dequeue(out));
+    EXPECT_EQ(out, static_cast<std::uint64_t>(round));
+  }
+}
+
+TEST(FunctionShipping, MovableOnlyPayload) {
+  FunctionShippingQueue<std::unique_ptr<int>> queue(2);
+  ASSERT_TRUE(queue.try_enqueue(std::make_unique<int>(5)));
+  std::unique_ptr<int> out;
+  ASSERT_TRUE(queue.try_dequeue(out));
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(*out, 5);
+}
+
+}  // namespace
+}  // namespace msq::queues

@@ -1,0 +1,134 @@
+// Tests for the workload harness (driver, calibration, stats, tables).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "harness/calibrate.hpp"
+#include "harness/driver.hpp"
+#include "harness/stats.hpp"
+#include "harness/table.hpp"
+#include "queues/ms_queue.hpp"
+#include "queues/two_lock_queue.hpp"
+
+namespace msq::harness {
+namespace {
+
+TEST(Calibrate, SpinRateIsPositiveAndStable) {
+  const double rate1 = spin_iters_per_us();
+  const double rate2 = spin_iters_per_us();
+  EXPECT_GT(rate1, 0.0);
+  // Two measurements on the same machine agree within 5x (coarse: we only
+  // need the right order of magnitude for the 6us other-work spin).
+  EXPECT_LT(rate1 / rate2, 5.0);
+  EXPECT_LT(rate2 / rate1, 5.0);
+}
+
+TEST(Calibrate, ItersScaleWithMicroseconds) {
+  const auto one = spin_iters_for_us(1.0);
+  const auto six = spin_iters_for_us(6.0);
+  EXPECT_GT(one, 0u);
+  EXPECT_NEAR(static_cast<double>(six), 6.0 * static_cast<double>(one),
+              static_cast<double>(one));
+}
+
+TEST(Driver, RunsPaperLoopAndCountsEverything) {
+  queues::MsQueue<std::uint64_t> queue(64);
+  WorkloadConfig config;
+  config.threads = 3;
+  config.total_pairs = 9'001;  // deliberately not divisible by threads
+  config.other_work_iters = 0;
+  const WorkloadResult result = run_workload(queue, config);
+  EXPECT_EQ(result.enqueues, config.total_pairs);
+  EXPECT_EQ(result.dequeues + result.empty_dequeues, config.total_pairs);
+  EXPECT_GT(result.elapsed_seconds, 0.0);
+  // Whatever empty dequeues happened left items behind; drain matches.
+  std::uint64_t out = 0;
+  std::uint64_t left = 0;
+  while (queue.try_dequeue(out)) ++left;
+  EXPECT_EQ(left, result.empty_dequeues);
+}
+
+TEST(Driver, HistoryRecordingProducesConsistentLogs) {
+  queues::TwoLockQueue<std::uint64_t> queue(64);
+  WorkloadConfig config;
+  config.threads = 2;
+  config.total_pairs = 2'000;
+  config.record_history = true;
+  const WorkloadResult result = run_workload(queue, config);
+  ASSERT_EQ(result.logs.size(), 2u);
+  std::uint64_t events = 0;
+  for (const auto& log : result.logs) events += log.events().size();
+  EXPECT_EQ(events, 2 * config.total_pairs);  // one enq + one deq per pair
+  for (const auto& log : result.logs) {
+    for (const auto& e : log.events()) {
+      EXPECT_LE(e.invoke_ns, e.response_ns);
+    }
+  }
+}
+
+TEST(Driver, NetSubtractsOtherWork) {
+  queues::MsQueue<std::uint64_t> queue(64);
+  WorkloadConfig config;
+  config.threads = 1;
+  config.total_pairs = 5'000;
+  config.other_work_iters = spin_iters_for_us(2.0);
+  const WorkloadResult result = run_workload(queue, config);
+  EXPECT_LT(result.net_seconds, result.elapsed_seconds);
+  // For one thread nearly all time IS other work; net must be a small
+  // fraction of elapsed.
+  EXPECT_LT(result.net_seconds, result.elapsed_seconds * 0.6);
+}
+
+TEST(Stats, SummarizesKnownSamples) {
+  const Summary s = summarize({1.0, 2.0, 3.0, 4.0, 5.0});
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_NEAR(s.stddev, 1.5811, 1e-3);
+  EXPECT_EQ(s.n, 5u);
+}
+
+TEST(Stats, HandlesDegenerateInputs) {
+  EXPECT_EQ(summarize({}).n, 0u);
+  const Summary one = summarize({7.0});
+  EXPECT_DOUBLE_EQ(one.mean, 7.0);
+  EXPECT_DOUBLE_EQ(one.stddev, 0.0);
+}
+
+TEST(SeriesTable, RendersAlignedTableAndCsv) {
+  SeriesTable table("Figure X", "procs");
+  const std::size_t ms = table.add_series("MS");
+  const std::size_t lock = table.add_series("single");
+  table.add_row(1);
+  table.set(ms, 1.5);
+  table.set(lock, 2.25);
+  table.add_row(2);
+  table.set(ms, 1.25);  // `single` left missing
+
+  std::ostringstream text;
+  table.print(text);
+  EXPECT_NE(text.str().find("Figure X"), std::string::npos);
+  EXPECT_NE(text.str().find("MS"), std::string::npos);
+  EXPECT_NE(text.str().find("1.5000"), std::string::npos);
+  EXPECT_NE(text.str().find("-"), std::string::npos);  // missing cell
+
+  std::ostringstream csv;
+  table.print_csv(csv);
+  EXPECT_NE(csv.str().find("procs,MS,single"), std::string::npos);
+  EXPECT_NE(csv.str().find("1,1.5,2.25"), std::string::npos);
+  EXPECT_NE(csv.str().find("2,1.25,"), std::string::npos);
+}
+
+TEST(SeriesTable, SeriesAddedAfterRowsBackfillAsMissing) {
+  SeriesTable table("t", "x");
+  table.add_row(1);
+  const std::size_t late = table.add_series("late");
+  table.set(late, 9.0);
+  std::ostringstream os;
+  table.print_csv(os);
+  EXPECT_NE(os.str().find("1,9"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace msq::harness

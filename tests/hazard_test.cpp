@@ -1,0 +1,178 @@
+// Tests for hazard-pointer reclamation (mem/hazard.hpp).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "mem/hazard.hpp"
+
+namespace msq::mem {
+namespace {
+
+struct Tracked {
+  static std::atomic<int> live;
+  int payload = 0;
+  Tracked() { live.fetch_add(1); }
+  explicit Tracked(int p) : payload(p) { live.fetch_add(1); }
+  ~Tracked() { live.fetch_sub(1); }
+};
+std::atomic<int> Tracked::live{0};
+
+TEST(HazardDomain, RetireWithoutHazardReclaimsOnScan) {
+  HazardDomain domain;
+  auto* obj = new Tracked(1);
+  const int before = Tracked::live.load();
+  domain.retire(obj);
+  domain.scan();
+  EXPECT_EQ(Tracked::live.load(), before - 1);
+}
+
+TEST(HazardDomain, PublishedHazardBlocksReclamation) {
+  HazardDomain domain;
+  std::atomic<Tracked*> shared{new Tracked(7)};
+  Tracked* protected_ptr = domain.protect(0, shared);
+  ASSERT_EQ(protected_ptr, shared.load());
+
+  const int live_before = Tracked::live.load();
+  domain.retire(protected_ptr);
+  domain.scan();
+  EXPECT_EQ(Tracked::live.load(), live_before) << "reclaimed under a hazard";
+
+  domain.clear_hazard(0);
+  domain.scan();
+  EXPECT_EQ(Tracked::live.load(), live_before - 1);
+  shared.store(nullptr);
+}
+
+TEST(HazardDomain, ProtectRetriesUntilStable) {
+  HazardDomain domain;
+  auto* a = new Tracked(1);
+  std::atomic<Tracked*> shared{a};
+  // Single-threaded protect must return the current pointer and leave the
+  // hazard published.
+  EXPECT_EQ(domain.protect(0, shared), a);
+  domain.clear_hazard(0);
+  domain.retire(a);
+  domain.scan();
+  EXPECT_EQ(Tracked::live.load(), 0);
+}
+
+TEST(HazardDomain, ConcurrentProtectAndRetireNeverUseAfterFree) {
+  // A writer repeatedly swaps the shared pointer and retires the old value;
+  // readers protect and dereference.  ASAN (or the payload sentinel) would
+  // flag a reclamation racing a protected read.
+  HazardDomain domain;
+  std::atomic<Tracked*> shared{new Tracked(0)};
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> reads{0};
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < 2; ++t) {
+      threads.emplace_back([&] {
+        while (!stop.load(std::memory_order_relaxed)) {
+          Tracked* p = domain.protect(0, shared);
+          if (p != nullptr) {
+            // Dereference under hazard: must be live.
+            ASSERT_GE(p->payload, 0);
+            reads.fetch_add(1, std::memory_order_relaxed);
+          }
+          domain.clear_hazard(0);
+        }
+      });
+    }
+    threads.emplace_back([&] {
+      for (int i = 1; i <= 50'000; ++i) {
+        Tracked* next = new Tracked(i);
+        Tracked* old = shared.exchange(next);
+        domain.retire(old);
+      }
+      stop.store(true);
+    });
+  }
+  domain.retire(shared.exchange(nullptr));
+  domain.scan();
+  EXPECT_GT(reads.load(), 0u);
+  EXPECT_EQ(Tracked::live.load(), 0) << "nodes leaked or double-freed";
+}
+
+TEST(HazardDomain, ScanOrderingVsOrphans) {
+  // Regression for a real use-after-free: scan() used to collect its hazard
+  // snapshot BEFORE taking possession of the orphan list.  An exiting
+  // thread could retire-and-orphan a node after the snapshot, and a peer
+  // that published + validated a hazard on that node in between was not in
+  // the snapshot -- the sweep freed a node in active use.  The scenario
+  // needs >= 3 parties and thread churn; this stress runs many short
+  // generations of workers over one domain and one shared structure.
+  // (Found by ASAN; with the fix this runs clean under ASAN and never
+  // crashes or double-frees in any build.)
+  mem::HazardDomain domain;
+  struct QNode {
+    std::uint64_t value{};
+    std::atomic<QNode*> next{nullptr};
+  };
+  std::atomic<QNode*> head{new QNode{}};  // Treiber-ish shared stack top
+
+  for (int generation = 0; generation < 30; ++generation) {
+    std::vector<std::jthread> workers;
+    for (int t = 0; t < 4; ++t) {
+      workers.emplace_back([&] {
+        for (int i = 0; i < 3'000; ++i) {
+          // push
+          auto* node = new QNode{.value = static_cast<std::uint64_t>(i)};
+          QNode* top = head.load(std::memory_order_acquire);
+          do {
+            node->next.store(top, std::memory_order_relaxed);
+          } while (!head.compare_exchange_weak(top, node,
+                                               std::memory_order_release,
+                                               std::memory_order_acquire));
+          // pop (hazard-protected)
+          for (;;) {
+            QNode* h = domain.protect(0, head);
+            if (h == nullptr) break;
+            QNode* next = h->next.load(std::memory_order_acquire);  // deref!
+            QNode* expected = h;
+            if (head.compare_exchange_strong(expected, next,
+                                             std::memory_order_acq_rel)) {
+              domain.clear_hazard(0);
+              if (h->value != 0xDEADDEADDEADDEADull) {
+                h->value = 0xDEADDEADDEADDEADull;  // poison-on-retire marker
+                domain.retire(h);
+              }
+              break;
+            }
+          }
+        }
+        domain.clear_hazard(0);
+      });
+    }
+    // jthreads join here: each generation orphans its retired buffers while
+    // the NEXT generation's scans race the handoff.
+  }
+  domain.scan();
+  // Tear down the remaining stack.
+  QNode* n = head.exchange(nullptr);
+  while (n != nullptr) {
+    QNode* next = n->next.load(std::memory_order_relaxed);
+    delete n;
+    n = next;
+  }
+  SUCCEED();  // the assertion is "no crash / no double free / ASAN-clean"
+}
+
+TEST(HazardDomain, ThreadExitOrphansAreEventuallyReclaimed) {
+  HazardDomain domain;
+  {
+    std::jthread worker([&] {
+      // Retire a handful below the scan threshold, then exit: the nodes
+      // must land on the orphan list, not leak.
+      for (int i = 0; i < 10; ++i) domain.retire(new Tracked(i));
+    });
+  }
+  domain.scan();  // another thread drains the orphans
+  EXPECT_EQ(Tracked::live.load(), 0);
+}
+
+}  // namespace
+}  // namespace msq::mem

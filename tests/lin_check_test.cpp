@@ -1,0 +1,236 @@
+// Tests for the linearizability checkers themselves (check/lin_check) --
+// hand-crafted histories with known verdicts, including the failure modes
+// the paper reports finding in earlier algorithms (lost items, false
+// emptiness, reordering).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "check/history.hpp"
+#include "check/invariants.hpp"
+#include "check/lin_check.hpp"
+
+namespace msq::check {
+namespace {
+
+Event enq(std::uint64_t v, std::int64_t inv, std::int64_t res,
+          std::uint32_t thread = 0) {
+  return Event{OpKind::kEnqueue, v, inv, res, thread};
+}
+Event deq(std::uint64_t v, std::int64_t inv, std::int64_t res,
+          std::uint32_t thread = 0) {
+  return Event{OpKind::kDequeue, v, inv, res, thread};
+}
+Event deq_empty(std::int64_t inv, std::int64_t res, std::uint32_t thread = 0) {
+  return Event{OpKind::kDequeueEmpty, 0, inv, res, thread};
+}
+
+// ---------------------------------------------------------------------------
+// Exact checker
+// ---------------------------------------------------------------------------
+
+TEST(ExactChecker, AcceptsSequentialFifo) {
+  const std::vector<Event> h = {enq(1, 0, 1), enq(2, 2, 3), deq(1, 4, 5),
+                                deq(2, 6, 7)};
+  EXPECT_TRUE(check_linearizable_exact(h).ok);
+}
+
+TEST(ExactChecker, RejectsLifoOrder) {
+  const std::vector<Event> h = {enq(1, 0, 1), enq(2, 2, 3), deq(2, 4, 5),
+                                deq(1, 6, 7)};
+  EXPECT_FALSE(check_linearizable_exact(h).ok);
+}
+
+TEST(ExactChecker, AcceptsAnyOrderForConcurrentEnqueues) {
+  // enq(1) and enq(2) overlap: either dequeue order linearizes.
+  const std::vector<Event> lifo_looking = {enq(1, 0, 10), enq(2, 0, 10),
+                                           deq(2, 11, 12), deq(1, 13, 14)};
+  EXPECT_TRUE(check_linearizable_exact(lifo_looking).ok);
+}
+
+TEST(ExactChecker, AcceptsEmptyDequeueOnEmptyQueue) {
+  const std::vector<Event> h = {deq_empty(0, 1), enq(1, 2, 3), deq(1, 4, 5)};
+  EXPECT_TRUE(check_linearizable_exact(h).ok);
+}
+
+TEST(ExactChecker, RejectsFalseEmpty) {
+  // Stone's non-linearizability scenario (paper section 1): a process
+  // enqueues an item, then observes an empty queue even though the item was
+  // never dequeued.
+  const std::vector<Event> h = {enq(1, 0, 1), deq_empty(2, 3)};
+  EXPECT_FALSE(check_linearizable_exact(h).ok);
+}
+
+TEST(ExactChecker, AcceptsEmptyDuringConcurrentEnqueue) {
+  // If the enqueue is still in flight, observing empty is legal.
+  const std::vector<Event> h = {enq(1, 0, 10), deq_empty(2, 3), deq(1, 11, 12)};
+  EXPECT_TRUE(check_linearizable_exact(h).ok);
+}
+
+TEST(ExactChecker, RejectsDequeueOfValueNeverEnqueued) {
+  const std::vector<Event> h = {enq(1, 0, 1), deq(9, 2, 3)};
+  EXPECT_FALSE(check_linearizable_exact(h).ok);
+}
+
+TEST(ExactChecker, RejectsLostItem) {
+  // The race the paper found in Stone's queue: an enqueued item vanishes.
+  // Here: both items enqueued sequentially, but only one comes out and a
+  // subsequent dequeue reports empty.
+  const std::vector<Event> h = {enq(1, 0, 1), enq(2, 2, 3), deq(1, 4, 5),
+                                deq_empty(6, 7)};
+  EXPECT_FALSE(check_linearizable_exact(h).ok);
+}
+
+TEST(ExactChecker, RejectsDuplicateDelivery) {
+  const std::vector<Event> h = {enq(1, 0, 1), deq(1, 2, 3), deq(1, 4, 5)};
+  EXPECT_FALSE(check_linearizable_exact(h).ok);
+}
+
+TEST(ExactChecker, AcceptsRealTimeRespectingInterleaving) {
+  // Two threads, overlapping ops; a valid linearization exists.
+  const std::vector<Event> h = {
+      enq(1, 0, 5, 0), enq(2, 1, 6, 1), deq(2, 7, 12, 0), deq(1, 8, 13, 1)};
+  EXPECT_TRUE(check_linearizable_exact(h).ok);
+}
+
+TEST(ExactChecker, RefusesOversizedHistories) {
+  std::vector<Event> h;
+  for (int i = 0; i < 70; ++i) h.push_back(enq(i, i, i));
+  const auto result = check_linearizable_exact(h);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.diagnosis.find("64"), std::string::npos);
+}
+
+TEST(ExactChecker, HandlesPendingHeavyOverlapEfficiently) {
+  // 20 fully-overlapping enqueues then 20 dequeues in matching order; the
+  // memoised search must not blow up.
+  std::vector<Event> h;
+  for (int i = 0; i < 20; ++i) h.push_back(enq(i, 0, 100));
+  for (int i = 0; i < 20; ++i) h.push_back(deq(i, 200 + i * 2, 201 + i * 2));
+  EXPECT_TRUE(check_linearizable_exact(h).ok);
+}
+
+// ---------------------------------------------------------------------------
+// Scalable checker
+// ---------------------------------------------------------------------------
+
+TEST(FifoOrderChecker, AcceptsCleanHistory) {
+  const std::vector<Event> h = {enq(1, 0, 1), enq(2, 2, 3), deq(1, 4, 5),
+                                deq(2, 6, 7)};
+  EXPECT_TRUE(check_fifo_order(h).ok);
+}
+
+TEST(FifoOrderChecker, RejectsStrictReordering) {
+  // enq(1) strictly before enq(2); deq(2) strictly before deq(1).
+  const std::vector<Event> h = {enq(1, 0, 1), enq(2, 2, 3), deq(2, 4, 5),
+                                deq(1, 6, 7)};
+  const auto result = check_fifo_order(h);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.diagnosis.find("FIFO order violated"), std::string::npos);
+}
+
+TEST(FifoOrderChecker, AcceptsOverlappingEnqueuesEitherOrder) {
+  const std::vector<Event> h = {enq(1, 0, 10), enq(2, 0, 10), deq(2, 11, 12),
+                                deq(1, 13, 14)};
+  EXPECT_TRUE(check_fifo_order(h).ok);
+}
+
+TEST(FifoOrderChecker, RejectsFabricatedValue) {
+  const std::vector<Event> h = {enq(1, 0, 1), deq(9, 2, 3)};
+  EXPECT_FALSE(check_fifo_order(h).ok);
+}
+
+TEST(FifoOrderChecker, RejectsDuplicateDequeue) {
+  const std::vector<Event> h = {enq(1, 0, 1), deq(1, 2, 3), deq(1, 4, 5)};
+  EXPECT_FALSE(check_fifo_order(h).ok);
+}
+
+TEST(FifoOrderChecker, RejectsDequeueCompletingBeforeEnqueueStarts) {
+  const std::vector<Event> h = {deq(1, 0, 1), enq(1, 5, 6)};
+  EXPECT_FALSE(check_fifo_order(h).ok);
+}
+
+TEST(FifoOrderChecker, RejectsOvertakingAnItemStuckForever) {
+  // enq(1) strictly precedes enq(2); 2 was dequeued, 1 never was.
+  const std::vector<Event> h = {enq(1, 0, 1), enq(2, 2, 3), deq(2, 4, 5)};
+  EXPECT_FALSE(check_fifo_order(h).ok);
+}
+
+TEST(FifoOrderChecker, AcceptsUndequeuedTailOfQueue) {
+  // Items enqueued later than every dequeue simply remain queued: fine.
+  const std::vector<Event> h = {enq(1, 0, 1), deq(1, 2, 3), enq(2, 4, 5)};
+  EXPECT_TRUE(check_fifo_order(h).ok);
+}
+
+TEST(FifoOrderChecker, ScalesToLargeHistories) {
+  std::vector<Event> h;
+  constexpr int kN = 100'000;
+  h.reserve(2 * kN);
+  for (int i = 0; i < kN; ++i) h.push_back(enq(i, 2 * i, 2 * i + 1));
+  for (int i = 0; i < kN; ++i) {
+    h.push_back(deq(i, 2 * kN + 2 * i, 2 * kN + 2 * i + 1));
+  }
+  EXPECT_TRUE(check_fifo_order(h).ok);
+}
+
+// ---------------------------------------------------------------------------
+// Conservation / per-consumer helpers
+// ---------------------------------------------------------------------------
+
+TEST(Conservation, ValueEncodingRoundTrips) {
+  const std::uint64_t v = encode_value(77, 123456789);
+  EXPECT_EQ(value_producer(v), 77u);
+  EXPECT_EQ(value_seq(v), 123456789u);
+}
+
+TEST(Conservation, DetectsDuplicateDequeue) {
+  const std::vector<Event> h = {enq(1, 0, 1), deq(1, 2, 3), deq(1, 4, 5)};
+  EXPECT_FALSE(check_conservation(h).ok);
+}
+
+TEST(Conservation, DetectsFabrication) {
+  const std::vector<Event> h = {deq(5, 0, 1)};
+  EXPECT_FALSE(check_conservation(h).ok);
+}
+
+TEST(PerConsumerOrder, DetectsProducerSequenceInversion) {
+  std::vector<ThreadLog> logs;
+  ThreadLog log(0);
+  log.record(OpKind::kDequeue, encode_value(1, 5), 0, 1);
+  log.record(OpKind::kDequeue, encode_value(1, 4), 2, 3);  // inversion
+  logs.push_back(log);
+  EXPECT_FALSE(check_per_consumer_order(logs).ok);
+}
+
+TEST(PerConsumerOrder, AcceptsInterleavedProducers) {
+  std::vector<ThreadLog> logs;
+  ThreadLog log(0);
+  log.record(OpKind::kDequeue, encode_value(1, 1), 0, 1);
+  log.record(OpKind::kDequeue, encode_value(2, 1), 2, 3);
+  log.record(OpKind::kDequeue, encode_value(1, 2), 4, 5);
+  log.record(OpKind::kDequeue, encode_value(2, 2), 6, 7);
+  logs.push_back(log);
+  EXPECT_TRUE(check_per_consumer_order(logs).ok);
+}
+
+TEST(History, MergeSortsByInvokeTime) {
+  std::vector<ThreadLog> logs;
+  ThreadLog a(0), b(1);
+  a.record(OpKind::kEnqueue, 1, 10, 11);
+  b.record(OpKind::kEnqueue, 2, 5, 6);
+  logs.push_back(a);
+  logs.push_back(b);
+  const auto merged = merge_logs(logs);
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0].value, 2u);
+  EXPECT_EQ(merged[1].value, 1u);
+}
+
+TEST(History, FormatEventIsReadable) {
+  EXPECT_NE(format_event(enq(3, 0, 1)).find("enq(3)"), std::string::npos);
+  EXPECT_NE(format_event(deq(3, 0, 1)).find("deq()=3"), std::string::npos);
+  EXPECT_NE(format_event(deq_empty(0, 1)).find("EMPTY"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace msq::check

@@ -1,0 +1,176 @@
+// Unit and stress tests for the pool/free-list substrate (mem/node_pool,
+// mem/freelist, mem/value_cell) -- the paper's "non-blocking free list"
+// built from Treiber's stack.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "mem/freelist.hpp"
+#include "mem/node_pool.hpp"
+#include "mem/value_cell.hpp"
+#include "tagged/atomic_tagged.hpp"
+
+namespace msq::mem {
+namespace {
+
+struct TestNode {
+  std::uint64_t payload = 0;
+  tagged::AtomicTagged next;
+};
+
+TEST(NodePool, IndexingAndIndexOf) {
+  NodePool<TestNode> pool(8);
+  EXPECT_EQ(pool.capacity(), 8u);
+  pool[3].payload = 99;
+  EXPECT_EQ(pool[3].payload, 99u);
+  EXPECT_EQ(pool.index_of(pool[5]), 5u);
+}
+
+TEST(FreeList, HoldsWholePoolInitially) {
+  NodePool<TestNode> pool(16);
+  FreeList<TestNode> freelist(pool);
+  EXPECT_EQ(freelist.unsafe_size(), 16u);
+}
+
+TEST(FreeList, AllocateReturnsDistinctNodesUntilExhausted) {
+  NodePool<TestNode> pool(4);
+  FreeList<TestNode> freelist(pool);
+  std::unordered_set<std::uint32_t> seen;
+  for (int i = 0; i < 4; ++i) {
+    const std::uint32_t idx = freelist.try_allocate();
+    ASSERT_NE(idx, tagged::kNullIndex);
+    EXPECT_TRUE(seen.insert(idx).second) << "duplicate allocation";
+  }
+  EXPECT_EQ(freelist.try_allocate(), tagged::kNullIndex);  // exhausted
+  EXPECT_EQ(freelist.unsafe_size(), 0u);
+}
+
+TEST(FreeList, FreeMakesNodeAvailableAgain) {
+  NodePool<TestNode> pool(2);
+  FreeList<TestNode> freelist(pool);
+  const std::uint32_t a = freelist.try_allocate();
+  const std::uint32_t b = freelist.try_allocate();
+  ASSERT_EQ(freelist.try_allocate(), tagged::kNullIndex);
+  freelist.free(a);
+  EXPECT_EQ(freelist.try_allocate(), a);  // LIFO: last freed, first reused
+  freelist.free(b);
+  freelist.free(a);
+}
+
+TEST(FreeList, ConcurrentAllocFreeNeverDuplicates) {
+  // Each thread repeatedly allocates a batch and frees it.  A broken stack
+  // (ABA, lost node) would eventually hand one node to two threads; the
+  // ownership flags catch that immediately.
+  constexpr std::uint32_t kNodes = 64;
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 20'000;
+  NodePool<TestNode> pool(kNodes);
+  FreeList<TestNode> freelist(pool);
+  std::vector<std::atomic<bool>> owned(kNodes);
+  std::atomic<bool> failed{false};
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&] {
+        std::vector<std::uint32_t> mine;
+        for (int r = 0; r < kRounds && !failed.load(); ++r) {
+          for (int i = 0; i < 8; ++i) {
+            const std::uint32_t idx = freelist.try_allocate();
+            if (idx == tagged::kNullIndex) break;
+            if (owned[idx].exchange(true)) failed.store(true);
+            mine.push_back(idx);
+          }
+          for (const std::uint32_t idx : mine) {
+            owned[idx].store(false);
+            freelist.free(idx);
+          }
+          mine.clear();
+        }
+      });
+    }
+  }
+  EXPECT_FALSE(failed.load()) << "free list handed a node to two owners";
+  EXPECT_EQ(freelist.unsafe_size(), kNodes);
+}
+
+TEST(FreeList, ExhaustionUnderContentionRecovers) {
+  constexpr std::uint32_t kNodes = 8;
+  NodePool<TestNode> pool(kNodes);
+  FreeList<TestNode> freelist(pool);
+  std::atomic<std::uint64_t> failures{0};
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back([&] {
+        for (int r = 0; r < 10'000; ++r) {
+          const std::uint32_t idx = freelist.try_allocate();
+          if (idx == tagged::kNullIndex) {
+            failures.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
+          freelist.free(idx);
+        }
+      });
+    }
+  }
+  // All nodes must be back regardless of how many allocations failed.
+  EXPECT_EQ(freelist.unsafe_size(), kNodes);
+}
+
+TEST(ValueCell, RoundTripsSmallTypes) {
+  ValueCell<std::uint64_t> big;
+  big.store(0xDEADBEEFCAFEBABEull);
+  EXPECT_EQ(big.load(), 0xDEADBEEFCAFEBABEull);
+
+  ValueCell<int> small;
+  small.store(-42);
+  EXPECT_EQ(small.load(), -42);
+
+  ValueCell<double> real;
+  real.store(3.25);
+  EXPECT_EQ(real.load(), 3.25);
+
+  struct Pair {
+    std::uint32_t a, b;
+  };
+  ValueCell<Pair> pair;
+  pair.store({7, 9});
+  EXPECT_EQ(pair.load().a, 7u);
+  EXPECT_EQ(pair.load().b, 9u);
+}
+
+TEST(ValueCell, ConcurrentReadsDuringWritesAreWellDefined) {
+  // The exact D11 situation: one thread overwrites while others read; every
+  // read must observe some previously stored whole value, never a torn one.
+  ValueCell<std::uint64_t> cell;
+  cell.store(0);
+  std::atomic<bool> stop{false};
+  std::atomic<bool> torn{false};
+  {
+    std::vector<std::jthread> threads;
+    threads.emplace_back([&] {
+      for (std::uint64_t i = 0; i < 100'000; ++i) {
+        cell.store((i & 0xFF) * 0x0101010101010101ull);  // all bytes equal
+      }
+      stop.store(true);
+    });
+    for (int t = 0; t < 2; ++t) {
+      threads.emplace_back([&] {
+        while (!stop.load()) {
+          const std::uint64_t v = cell.load();
+          const std::uint64_t byte = v & 0xFF;
+          if (v != byte * 0x0101010101010101ull) torn.store(true);
+        }
+      });
+    }
+  }
+  EXPECT_FALSE(torn.load());
+}
+
+}  // namespace
+}  // namespace msq::mem

@@ -1,0 +1,92 @@
+// Tests for the portability layer (port/).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+
+#include "port/clock.hpp"
+#include "port/cpu.hpp"
+#include "port/prng.hpp"
+#include "port/spin_work.hpp"
+
+namespace msq::port {
+namespace {
+
+TEST(Cpu, CacheAlignedReallyAligns) {
+  struct TwoCounters {
+    CacheAligned<std::uint64_t> a;
+    CacheAligned<std::uint64_t> b;
+  };
+  TwoCounters c;
+  const auto pa = reinterpret_cast<std::uintptr_t>(&c.a.value);
+  const auto pb = reinterpret_cast<std::uintptr_t>(&c.b.value);
+  EXPECT_EQ(pa % kCacheLine, 0u);
+  EXPECT_EQ(pb % kCacheLine, 0u);
+  EXPECT_GE(pb - pa, kCacheLine) << "a and b share a cache line";
+}
+
+TEST(Cpu, RelaxIsCallable) {
+  for (int i = 0; i < 100; ++i) cpu_relax();
+  SUCCEED();
+}
+
+TEST(Clock, Monotonic) {
+  const std::int64_t a = now_ns();
+  spin_work(10'000);
+  const std::int64_t b = now_ns();
+  EXPECT_GE(b, a);
+}
+
+TEST(Clock, NsToSecondsConversion) {
+  EXPECT_DOUBLE_EQ(ns_to_seconds(1'000'000'000), 1.0);
+  EXPECT_DOUBLE_EQ(ns_to_seconds(500), 5e-7);
+}
+
+TEST(Prng, DeterministicGivenSeed) {
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Prng, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a() == b());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Prng, BelowRespectsBound) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10'000; ++i) EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Prng, BelowCoversRange) {
+  Xoshiro256 rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1'000; ++i) seen.insert(rng.below(8));
+  EXPECT_EQ(seen.size(), 8u) << "8 buckets should all be hit in 1000 draws";
+}
+
+TEST(Prng, UsableAsUniformRandomBitGenerator) {
+  static_assert(Xoshiro256::min() == 0);
+  static_assert(Xoshiro256::max() == ~0ull);
+  SUCCEED();
+}
+
+TEST(SpinWork, ZeroIsNoOp) {
+  spin_work(0);
+  SUCCEED();
+}
+
+TEST(SpinWork, TimeGrowsWithIterations) {
+  // Coarse monotonicity: 40x the iterations should take measurably longer.
+  const std::int64_t t0 = now_ns();
+  spin_work(100'000);
+  const std::int64_t small = now_ns() - t0;
+  const std::int64_t t1 = now_ns();
+  spin_work(4'000'000);
+  const std::int64_t large = now_ns() - t1;
+  EXPECT_GT(large, small);
+}
+
+}  // namespace
+}  // namespace msq::port

@@ -1,0 +1,228 @@
+// Systematic bounded-preemption exploration (sim/explore.hpp): the paper's
+// races and properties checked over EVERY schedule with at most two forced
+// context switches, not just random ones.
+//
+// Headline assertions:
+//  * the bare-pointer Treiber stack's ABA corruption IS found by systematic
+//    search (some schedule produces a corrupt final state);
+//  * with modification counters, NO schedule in the same space corrupts it;
+//  * the simulated MS queue keeps its structural invariants and exact
+//    linearizability on every explored schedule.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "check/history.hpp"
+#include "check/invariants.hpp"
+#include "check/lin_check.hpp"
+#include "sim/engine.hpp"
+#include "sim/explore.hpp"
+#include "sim/ms_queue_sim.hpp"
+#include "sim/queue_iface.hpp"
+#include "sim/workload.hpp"
+#include "tests/tiny_stack_sim.hpp"
+
+namespace msq::sim {
+namespace {
+
+using testing::kNullNode;
+using testing::TinyStack;
+
+// --- ABA search over the stack ----------------------------------------------
+
+template <bool Counted>
+Task<void> single_pop(Proc& p, TinyStack<Counted>& stack, std::uint64_t& out) {
+  out = co_await stack.pop(p);
+}
+
+template <bool Counted>
+Task<void> aba_mutator(Proc& p, TinyStack<Counted>& stack,
+                       std::uint64_t& first, std::uint64_t& second,
+                       bool& pushed_back) {
+  first = co_await stack.pop(p);
+  second = co_await stack.pop(p);
+  if (first != kNullNode) {
+    co_await stack.push(p, first);  // the second "A" of A-B-A
+    pushed_back = true;
+  }
+}
+
+/// World rebuilt for every schedule: Top -> A(0) -> B(1); P0 pops once, P1
+/// pops twice and re-pushes its first pop.
+template <bool Counted>
+struct StackWorld {
+  Engine engine;
+  TinyStack<Counted> stack{engine, 4};
+  std::uint64_t p0_pop = kNullNode;
+  std::uint64_t p1_first = kNullNode;
+  std::uint64_t p1_second = kNullNode;
+  bool pushed_back = false;
+
+  StackWorld() {
+    SimMemory& mem = engine.memory();
+    mem.word(stack.next_addr(1)) = TinyStack<Counted>::encode(kNullNode, 0);
+    mem.word(stack.next_addr(0)) = TinyStack<Counted>::encode(1, 0);
+    mem.word(top_addr()) = TinyStack<Counted>::encode(0, 7);
+    engine.spawn(0, [this](Proc& p) {
+      return single_pop<Counted>(p, stack, p0_pop);
+    });
+    engine.spawn(0, [this](Proc& p) {
+      return aba_mutator<Counted>(p, stack, p1_first, p1_second, pushed_back);
+    });
+  }
+
+  [[nodiscard]] Addr top_addr() const {
+    // TinyStack lays out capacity node words then the top word.
+    return stack.next_addr(4);
+  }
+
+  /// Corruption oracle via ownership accounting: the final stack must not
+  /// contain duplicates, nor any node a process ended up owning (a pop
+  /// result that was never pushed back).
+  [[nodiscard]] bool corrupt() const {
+    const auto nodes = stack.snapshot(engine);
+    std::multiset<std::uint64_t> occurrences(nodes.begin(), nodes.end());
+    for (const std::uint64_t n : nodes) {
+      if (occurrences.count(n) > 1) return true;
+    }
+    std::set<std::uint64_t> owned;
+    if (p0_pop != kNullNode) owned.insert(p0_pop);
+    if (p1_second != kNullNode) owned.insert(p1_second);
+    if (p1_first != kNullNode && !pushed_back) owned.insert(p1_first);
+    for (const std::uint64_t n : nodes) {
+      if (owned.contains(n)) return true;
+    }
+    return false;
+  }
+};
+
+template <bool Counted>
+std::uint64_t count_corrupt_schedules() {
+  std::uint64_t corrupt = 0;
+  std::unique_ptr<StackWorld<Counted>> world;
+  ExploreConfig config;
+  config.max_preemptions = 2;
+  config.max_steps_per_run = 5'000;
+  const ExploreResult result = explore_schedules(
+      config, /*process_count=*/2,
+      [&]() -> Engine& {
+        world = std::make_unique<StackWorld<Counted>>();
+        return world->engine;
+      },
+      /*on_step=*/nullptr,
+      [&](Engine&) { corrupt += world->corrupt() ? 1 : 0; });
+  EXPECT_FALSE(result.budget_exhausted);
+  EXPECT_GT(result.schedules_run, 100u) << "schedule space suspiciously small";
+  return corrupt;
+}
+
+TEST(ExploreAba, SystematicSearchFindsBarePointerCorruption) {
+  EXPECT_GT(count_corrupt_schedules<false>(), 0u)
+      << "<=2-preemption search failed to find the classic ABA race";
+}
+
+TEST(ExploreAba, CountedPointersSurviveTheWholeScheduleSpace) {
+  EXPECT_EQ(count_corrupt_schedules<true>(), 0u)
+      << "a schedule corrupted the counted-pointer stack";
+}
+
+// --- MS queue over the schedule space ----------------------------------------
+
+Task<void> one_pair(Proc& p, SimQueue& queue, std::uint32_t producer,
+                    check::ThreadLog& log, Engine& engine) {
+  const std::uint64_t value = check::encode_value(producer, 1);
+  auto inv = static_cast<std::int64_t>(engine.total_steps());
+  for (;;) {
+    const bool ok = co_await queue.enqueue(p, value);
+    if (ok) break;
+  }
+  log.record(check::OpKind::kEnqueue, value, inv,
+             static_cast<std::int64_t>(engine.total_steps()));
+  inv = static_cast<std::int64_t>(engine.total_steps());
+  const std::uint64_t out = co_await queue.dequeue(p);
+  log.record(out == kEmpty ? check::OpKind::kDequeueEmpty
+                           : check::OpKind::kDequeue,
+             out, inv, static_cast<std::int64_t>(engine.total_steps()));
+}
+
+struct QueueWorld {
+  Engine engine;
+  std::unique_ptr<SimQueue> queue;
+  std::vector<check::ThreadLog> logs;
+  explicit QueueWorld(Algo algo) {
+    queue = make_sim_queue(algo, engine, 8);
+    logs.reserve(2);
+    for (std::uint32_t t = 0; t < 2; ++t) logs.emplace_back(t);
+    for (std::uint32_t t = 0; t < 2; ++t) {
+      engine.spawn(0, [this, t](Proc& p) {
+        return one_pair(p, *queue, t, logs[t], engine);
+      });
+    }
+  }
+};
+
+class ExploreAllAlgos : public ::testing::TestWithParam<Algo> {};
+
+INSTANTIATE_TEST_SUITE_P(EveryAlgorithm, ExploreAllAlgos,
+                         ::testing::ValuesIn(kAllAlgos),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case Algo::kSingleLock: return "SingleLock";
+                             case Algo::kMc: return "Mc";
+                             case Algo::kValois: return "Valois";
+                             case Algo::kTwoLock: return "TwoLock";
+                             case Algo::kPlj: return "Plj";
+                             case Algo::kMs: return "Ms";
+                           }
+                           return "Unknown";
+                         });
+
+TEST_P(ExploreAllAlgos, InvariantsAndLinearizabilityOnEverySchedule) {
+  // Two processes, one enqueue/dequeue pair each, EVERY schedule with at
+  // most two forced preemptions.  Structural invariants hold after every
+  // step for every algorithm; completed schedules must be exactly
+  // linearizable.  Blocking algorithms may have schedules that never finish
+  // (a preemption into a spinning peer); those are expected for them and
+  // forbidden for the non-blocking ones.
+  const Algo algo = GetParam();
+  const bool non_blocking =
+      algo == Algo::kMs || algo == Algo::kPlj || algo == Algo::kValois;
+  std::unique_ptr<QueueWorld> world;
+  std::uint64_t completed = 0;
+  std::uint64_t blocked = 0;
+  ExploreConfig config;
+  config.max_preemptions = 2;
+  config.max_steps_per_run = 3'000;
+  const ExploreResult result = explore_schedules(
+      config, 2,
+      [&]() -> Engine& {
+        world = std::make_unique<QueueWorld>(algo);
+        return world->engine;
+      },
+      [&](Engine&) { world->queue->check_invariants(); },
+      [&](Engine& engine) {
+        if (!engine.all_done()) {
+          ASSERT_FALSE(non_blocking)
+              << algo_name(algo) << ": schedule blocked (non-blocking!)";
+          ++blocked;
+          return;
+        }
+        const auto history = check::merge_logs(world->logs);
+        const auto lin = check::check_linearizable_exact(history);
+        ASSERT_TRUE(lin.ok) << algo_name(algo) << ": " << lin.diagnosis;
+        ++completed;
+      });
+  EXPECT_FALSE(result.budget_exhausted);
+  EXPECT_GT(completed, 500u) << "schedule space suspiciously small";
+  if (non_blocking) EXPECT_EQ(blocked, 0u);
+  // Note: round-robin-with-forced-switch schedules never PARK a process
+  // permanently (the preempted process gets the CPU back), so even the
+  // blocking algorithms usually complete here; `blocked` counts the
+  // genuinely wedged schedules if any arise.  No assertion either way.
+}
+
+}  // namespace
+}  // namespace msq::sim

@@ -1,0 +1,153 @@
+// Unit tests for the counted-pointer substrate (tagged/).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "tagged/atomic_tagged.hpp"
+#include "tagged/counted_ptr.hpp"
+#include "tagged/tagged_index.hpp"
+
+namespace msq::tagged {
+namespace {
+
+TEST(TaggedIndex, DefaultIsNullWithZeroCount) {
+  const TaggedIndex t;
+  EXPECT_TRUE(t.is_null());
+  EXPECT_EQ(t.index(), kNullIndex);
+  EXPECT_EQ(t.count(), 0u);
+}
+
+TEST(TaggedIndex, PacksIndexAndCount) {
+  const TaggedIndex t(42, 7);
+  EXPECT_EQ(t.index(), 42u);
+  EXPECT_EQ(t.count(), 7u);
+  EXPECT_FALSE(t.is_null());
+}
+
+TEST(TaggedIndex, SuccessorBumpsCounterAndRetargets) {
+  const TaggedIndex t(5, 100);
+  const TaggedIndex s = t.successor(9);
+  EXPECT_EQ(s.index(), 9u);
+  EXPECT_EQ(s.count(), 101u);
+}
+
+TEST(TaggedIndex, CounterWrapsAround) {
+  const TaggedIndex t(1, 0xFFFFFFFFu);
+  EXPECT_EQ(t.successor(1).count(), 0u);  // modular, like the paper's counter
+}
+
+TEST(TaggedIndex, EqualityIncludesCount) {
+  EXPECT_EQ(TaggedIndex(3, 4), TaggedIndex(3, 4));
+  EXPECT_NE(TaggedIndex(3, 4), TaggedIndex(3, 5));  // same node, later time
+  EXPECT_NE(TaggedIndex(3, 4), TaggedIndex(2, 4));
+}
+
+TEST(TaggedIndex, BitsRoundTrip) {
+  const TaggedIndex t(123456, 654321);
+  EXPECT_EQ(TaggedIndex::from_bits(t.bits()), t);
+}
+
+TEST(AtomicTagged, LoadStoreRoundTrip) {
+  AtomicTagged cell;
+  EXPECT_TRUE(cell.load().is_null());
+  cell.store(TaggedIndex(8, 2));
+  EXPECT_EQ(cell.load(), TaggedIndex(8, 2));
+}
+
+TEST(AtomicTagged, CasSucceedsOnExactMatch) {
+  AtomicTagged cell{TaggedIndex(1, 1)};
+  EXPECT_TRUE(cell.compare_and_swap(TaggedIndex(1, 1), TaggedIndex(2, 2)));
+  EXPECT_EQ(cell.load(), TaggedIndex(2, 2));
+}
+
+TEST(AtomicTagged, CasFailsOnStaleCount) {
+  // The ABA defence: same index, older count, must fail.
+  AtomicTagged cell{TaggedIndex(1, 5)};
+  EXPECT_FALSE(cell.compare_and_swap(TaggedIndex(1, 4), TaggedIndex(2, 6)));
+  EXPECT_EQ(cell.load(), TaggedIndex(1, 5));
+}
+
+TEST(AtomicTagged, ConcurrentCasGrantsExactlyOneWinnerPerValue) {
+  AtomicTagged cell{TaggedIndex(0, 0)};
+  constexpr int kThreads = 4;
+  constexpr int kIncrements = 20'000;
+  std::vector<std::jthread> threads;
+  std::atomic<std::uint64_t> wins{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIncrements; ++i) {
+        for (;;) {
+          const TaggedIndex cur = cell.load();
+          if (cell.compare_and_swap(cur, cur.successor(cur.index() + 1))) {
+            wins.fetch_add(1, std::memory_order_relaxed);
+            break;
+          }
+        }
+      }
+    });
+  }
+  threads.clear();
+  EXPECT_EQ(wins.load(), kThreads * kIncrements);
+  // Every successful CAS bumped the counter exactly once.
+  EXPECT_EQ(cell.load().count(), static_cast<std::uint32_t>(kThreads * kIncrements));
+  EXPECT_EQ(cell.load().index(), static_cast<std::uint32_t>(kThreads * kIncrements));
+}
+
+struct Dummy {
+  int payload;
+};
+
+TEST(CountedPtr, DefaultIsNull) {
+  const CountedPtr<Dummy> p;
+  EXPECT_EQ(p.ptr, nullptr);
+  EXPECT_EQ(p.count, 0u);
+}
+
+TEST(CountedPtr, SuccessorBumpsCount) {
+  Dummy d{1};
+  const CountedPtr<Dummy> p{&d, 41};
+  const CountedPtr<Dummy> s = p.successor(nullptr);
+  EXPECT_EQ(s.ptr, nullptr);
+  EXPECT_EQ(s.count, 42u);
+}
+
+TEST(AtomicCountedPtr, LoadStoreRoundTrip) {
+  Dummy d{7};
+  AtomicCountedPtr<Dummy> cell;
+  EXPECT_EQ(cell.load().ptr, nullptr);
+  cell.store({&d, 3});
+  EXPECT_EQ(cell.load().ptr, &d);
+  EXPECT_EQ(cell.load().count, 3u);
+}
+
+TEST(AtomicCountedPtr, CasIsCountSensitive) {
+  Dummy a{0}, b{1};
+  AtomicCountedPtr<Dummy> cell{{&a, 10}};
+  EXPECT_FALSE(cell.compare_and_swap({&a, 9}, {&b, 10}));   // stale count
+  EXPECT_TRUE(cell.compare_and_swap({&a, 10}, {&b, 11}));
+  EXPECT_EQ(cell.load().ptr, &b);
+}
+
+TEST(AtomicCountedPtr, ConcurrentCountMonotonicity) {
+  AtomicCountedPtr<Dummy> cell{{nullptr, 0}};
+  constexpr int kThreads = 4;
+  constexpr int kIncrements = 10'000;
+  std::vector<std::jthread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIncrements; ++i) {
+        for (;;) {
+          const CountedPtr<Dummy> cur = cell.load();
+          if (cell.compare_and_swap(cur, cur.successor(cur.ptr))) break;
+        }
+      }
+    });
+  }
+  threads.clear();
+  EXPECT_EQ(cell.load().count, static_cast<std::uint64_t>(kThreads) * kIncrements);
+}
+
+}  // namespace
+}  // namespace msq::tagged

@@ -1,0 +1,106 @@
+// Tests for Treiber's non-blocking stack [21] as a public container.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "queues/treiber_stack.hpp"
+
+namespace msq::queues {
+namespace {
+
+TEST(TreiberStack, LifoOrder) {
+  TreiberStack<std::uint64_t> stack(8);
+  for (std::uint64_t i = 0; i < 5; ++i) ASSERT_TRUE(stack.try_push(i));
+  std::uint64_t out = 0;
+  for (std::uint64_t i = 5; i-- > 0;) {
+    ASSERT_TRUE(stack.try_pop(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(stack.try_pop(out));
+}
+
+TEST(TreiberStack, CapacityBound) {
+  TreiberStack<std::uint64_t> stack(2);
+  EXPECT_TRUE(stack.try_push(1));
+  EXPECT_TRUE(stack.try_push(2));
+  EXPECT_FALSE(stack.try_push(3));
+  std::uint64_t out = 0;
+  ASSERT_TRUE(stack.try_pop(out));
+  EXPECT_TRUE(stack.try_push(3));
+}
+
+TEST(TreiberStack, OptionalPopForm) {
+  TreiberStack<std::uint64_t> stack(2);
+  EXPECT_EQ(stack.try_pop(), std::nullopt);
+  ASSERT_TRUE(stack.try_push(9));
+  EXPECT_EQ(stack.try_pop(), std::optional<std::uint64_t>(9));
+}
+
+TEST(TreiberStack, ConcurrentPushPopConserves) {
+  TreiberStack<std::uint64_t> stack(128);
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kOps = 40'000;
+  std::atomic<std::uint64_t> pushed{0}, popped{0};
+  {
+    std::vector<std::jthread> threads;
+    for (std::uint32_t t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        std::uint64_t seq = 0;
+        for (std::uint64_t i = 0; i < kOps; ++i) {
+          if ((i + t) % 2 == 0) {
+            if (stack.try_push((static_cast<std::uint64_t>(t) << 32) | seq++)) {
+              pushed.fetch_add(1, std::memory_order_relaxed);
+            }
+          } else {
+            std::uint64_t out = 0;
+            if (stack.try_pop(out)) {
+              popped.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+        }
+      });
+    }
+  }
+  std::uint64_t out = 0;
+  std::uint64_t drained = 0;
+  std::unordered_set<std::uint64_t> seen;
+  while (stack.try_pop(out)) {
+    ++drained;
+    EXPECT_TRUE(seen.insert(out).second) << "duplicate element survived";
+  }
+  EXPECT_EQ(pushed.load(), popped.load() + drained);
+}
+
+TEST(TreiberStack, PerThreadLifoVisibleInSequentialPhases) {
+  // After a parallel push phase, popping yields each thread's elements in
+  // reverse push order (LIFO holds per thread even if interleaved).
+  TreiberStack<std::uint64_t> stack(64);
+  constexpr std::uint32_t kThreads = 4;
+  constexpr std::uint64_t kEach = 10;
+  {
+    std::vector<std::jthread> threads;
+    for (std::uint32_t t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        for (std::uint64_t i = 0; i < kEach; ++i) {
+          ASSERT_TRUE(stack.try_push((static_cast<std::uint64_t>(t) << 32) | i));
+        }
+      });
+    }
+  }
+  std::vector<std::uint64_t> last_seen(kThreads, kEach);
+  std::uint64_t out = 0;
+  while (stack.try_pop(out)) {
+    const auto thread = static_cast<std::uint32_t>(out >> 32);
+    const std::uint64_t seq = out & 0xFFFFFFFFull;
+    ASSERT_LT(thread, kThreads);
+    EXPECT_LT(seq, last_seen[thread]) << "per-thread LIFO violated";
+    last_seen[thread] = seq;
+  }
+}
+
+}  // namespace
+}  // namespace msq::queues
