@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_backoff.dir/ablate_backoff.cpp.o"
+  "CMakeFiles/ablate_backoff.dir/ablate_backoff.cpp.o.d"
+  "CMakeFiles/ablate_backoff.dir/fig_common.cpp.o"
+  "CMakeFiles/ablate_backoff.dir/fig_common.cpp.o.d"
+  "ablate_backoff"
+  "ablate_backoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_backoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_reclaim.dir/ablate_reclaim.cpp.o"
+  "CMakeFiles/ablate_reclaim.dir/ablate_reclaim.cpp.o.d"
+  "ablate_reclaim"
+  "ablate_reclaim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_reclaim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

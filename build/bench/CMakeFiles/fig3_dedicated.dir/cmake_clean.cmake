@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_dedicated.dir/fig3_dedicated.cpp.o"
+  "CMakeFiles/fig3_dedicated.dir/fig3_dedicated.cpp.o.d"
+  "CMakeFiles/fig3_dedicated.dir/fig_common.cpp.o"
+  "CMakeFiles/fig3_dedicated.dir/fig_common.cpp.o.d"
+  "fig3_dedicated"
+  "fig3_dedicated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_dedicated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_multiprog2.dir/fig4_multiprog2.cpp.o"
+  "CMakeFiles/fig4_multiprog2.dir/fig4_multiprog2.cpp.o.d"
+  "CMakeFiles/fig4_multiprog2.dir/fig_common.cpp.o"
+  "CMakeFiles/fig4_multiprog2.dir/fig_common.cpp.o.d"
+  "fig4_multiprog2"
+  "fig4_multiprog2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_multiprog2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

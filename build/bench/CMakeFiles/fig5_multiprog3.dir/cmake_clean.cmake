@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_multiprog3.dir/fig5_multiprog3.cpp.o"
+  "CMakeFiles/fig5_multiprog3.dir/fig5_multiprog3.cpp.o.d"
+  "CMakeFiles/fig5_multiprog3.dir/fig_common.cpp.o"
+  "CMakeFiles/fig5_multiprog3.dir/fig_common.cpp.o.d"
+  "fig5_multiprog3"
+  "fig5_multiprog3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_multiprog3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

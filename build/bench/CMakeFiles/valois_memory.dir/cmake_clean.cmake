@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/valois_memory.dir/valois_memory.cpp.o"
+  "CMakeFiles/valois_memory.dir/valois_memory.cpp.o.d"
+  "valois_memory"
+  "valois_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/valois_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

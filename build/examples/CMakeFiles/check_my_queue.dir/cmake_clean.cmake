@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/check_my_queue.dir/check_my_queue.cpp.o"
+  "CMakeFiles/check_my_queue.dir/check_my_queue.cpp.o.d"
+  "check_my_queue"
+  "check_my_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/check_my_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/log_pipeline.dir/log_pipeline.cpp.o"
+  "CMakeFiles/log_pipeline.dir/log_pipeline.cpp.o.d"
+  "log_pipeline"
+  "log_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/log_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/check/history.cpp" "src/CMakeFiles/msq.dir/check/history.cpp.o" "gcc" "src/CMakeFiles/msq.dir/check/history.cpp.o.d"
+  "/root/repo/src/check/invariants.cpp" "src/CMakeFiles/msq.dir/check/invariants.cpp.o" "gcc" "src/CMakeFiles/msq.dir/check/invariants.cpp.o.d"
+  "/root/repo/src/check/lin_check.cpp" "src/CMakeFiles/msq.dir/check/lin_check.cpp.o" "gcc" "src/CMakeFiles/msq.dir/check/lin_check.cpp.o.d"
+  "/root/repo/src/harness/calibrate.cpp" "src/CMakeFiles/msq.dir/harness/calibrate.cpp.o" "gcc" "src/CMakeFiles/msq.dir/harness/calibrate.cpp.o.d"
+  "/root/repo/src/harness/driver.cpp" "src/CMakeFiles/msq.dir/harness/driver.cpp.o" "gcc" "src/CMakeFiles/msq.dir/harness/driver.cpp.o.d"
+  "/root/repo/src/harness/stats.cpp" "src/CMakeFiles/msq.dir/harness/stats.cpp.o" "gcc" "src/CMakeFiles/msq.dir/harness/stats.cpp.o.d"
+  "/root/repo/src/harness/table.cpp" "src/CMakeFiles/msq.dir/harness/table.cpp.o" "gcc" "src/CMakeFiles/msq.dir/harness/table.cpp.o.d"
+  "/root/repo/src/sim/cost_model.cpp" "src/CMakeFiles/msq.dir/sim/cost_model.cpp.o" "gcc" "src/CMakeFiles/msq.dir/sim/cost_model.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/CMakeFiles/msq.dir/sim/engine.cpp.o" "gcc" "src/CMakeFiles/msq.dir/sim/engine.cpp.o.d"
+  "/root/repo/src/sim/explore.cpp" "src/CMakeFiles/msq.dir/sim/explore.cpp.o" "gcc" "src/CMakeFiles/msq.dir/sim/explore.cpp.o.d"
+  "/root/repo/src/sim/memory.cpp" "src/CMakeFiles/msq.dir/sim/memory.cpp.o" "gcc" "src/CMakeFiles/msq.dir/sim/memory.cpp.o.d"
+  "/root/repo/src/sim/workload.cpp" "src/CMakeFiles/msq.dir/sim/workload.cpp.o" "gcc" "src/CMakeFiles/msq.dir/sim/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msq.dir/check/history.cpp.o"
+  "CMakeFiles/msq.dir/check/history.cpp.o.d"
+  "CMakeFiles/msq.dir/check/invariants.cpp.o"
+  "CMakeFiles/msq.dir/check/invariants.cpp.o.d"
+  "CMakeFiles/msq.dir/check/lin_check.cpp.o"
+  "CMakeFiles/msq.dir/check/lin_check.cpp.o.d"
+  "CMakeFiles/msq.dir/harness/calibrate.cpp.o"
+  "CMakeFiles/msq.dir/harness/calibrate.cpp.o.d"
+  "CMakeFiles/msq.dir/harness/driver.cpp.o"
+  "CMakeFiles/msq.dir/harness/driver.cpp.o.d"
+  "CMakeFiles/msq.dir/harness/stats.cpp.o"
+  "CMakeFiles/msq.dir/harness/stats.cpp.o.d"
+  "CMakeFiles/msq.dir/harness/table.cpp.o"
+  "CMakeFiles/msq.dir/harness/table.cpp.o.d"
+  "CMakeFiles/msq.dir/sim/cost_model.cpp.o"
+  "CMakeFiles/msq.dir/sim/cost_model.cpp.o.d"
+  "CMakeFiles/msq.dir/sim/engine.cpp.o"
+  "CMakeFiles/msq.dir/sim/engine.cpp.o.d"
+  "CMakeFiles/msq.dir/sim/explore.cpp.o"
+  "CMakeFiles/msq.dir/sim/explore.cpp.o.d"
+  "CMakeFiles/msq.dir/sim/memory.cpp.o"
+  "CMakeFiles/msq.dir/sim/memory.cpp.o.d"
+  "CMakeFiles/msq.dir/sim/workload.cpp.o"
+  "CMakeFiles/msq.dir/sim/workload.cpp.o.d"
+  "libmsq.a"
+  "libmsq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

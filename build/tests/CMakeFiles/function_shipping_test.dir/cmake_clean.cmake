@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/function_shipping_test.dir/function_shipping_test.cpp.o"
+  "CMakeFiles/function_shipping_test.dir/function_shipping_test.cpp.o.d"
+  "function_shipping_test"
+  "function_shipping_test.pdb"
+  "function_shipping_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/function_shipping_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

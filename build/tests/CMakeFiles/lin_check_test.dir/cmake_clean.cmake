@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lin_check_test.dir/lin_check_test.cpp.o"
+  "CMakeFiles/lin_check_test.dir/lin_check_test.cpp.o.d"
+  "lin_check_test"
+  "lin_check_test.pdb"
+  "lin_check_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lin_check_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

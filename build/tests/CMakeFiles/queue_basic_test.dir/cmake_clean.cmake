@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/queue_basic_test.dir/queue_basic_test.cpp.o"
+  "CMakeFiles/queue_basic_test.dir/queue_basic_test.cpp.o.d"
+  "queue_basic_test"
+  "queue_basic_test.pdb"
+  "queue_basic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/queue_basic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

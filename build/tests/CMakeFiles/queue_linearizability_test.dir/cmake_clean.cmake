@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/queue_linearizability_test.dir/queue_linearizability_test.cpp.o"
+  "CMakeFiles/queue_linearizability_test.dir/queue_linearizability_test.cpp.o.d"
+  "queue_linearizability_test"
+  "queue_linearizability_test.pdb"
+  "queue_linearizability_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/queue_linearizability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

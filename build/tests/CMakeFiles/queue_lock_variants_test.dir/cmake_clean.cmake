@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/queue_lock_variants_test.dir/queue_lock_variants_test.cpp.o"
+  "CMakeFiles/queue_lock_variants_test.dir/queue_lock_variants_test.cpp.o.d"
+  "queue_lock_variants_test"
+  "queue_lock_variants_test.pdb"
+  "queue_lock_variants_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/queue_lock_variants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

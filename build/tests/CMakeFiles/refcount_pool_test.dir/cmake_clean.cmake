@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/refcount_pool_test.dir/refcount_pool_test.cpp.o"
+  "CMakeFiles/refcount_pool_test.dir/refcount_pool_test.cpp.o.d"
+  "refcount_pool_test"
+  "refcount_pool_test.pdb"
+  "refcount_pool_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/refcount_pool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

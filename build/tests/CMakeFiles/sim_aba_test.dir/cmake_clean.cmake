@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_aba_test.dir/sim_aba_test.cpp.o"
+  "CMakeFiles/sim_aba_test.dir/sim_aba_test.cpp.o.d"
+  "sim_aba_test"
+  "sim_aba_test.pdb"
+  "sim_aba_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_aba_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_explore_test.dir/sim_explore_test.cpp.o"
+  "CMakeFiles/sim_explore_test.dir/sim_explore_test.cpp.o.d"
+  "sim_explore_test"
+  "sim_explore_test.pdb"
+  "sim_explore_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_explore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

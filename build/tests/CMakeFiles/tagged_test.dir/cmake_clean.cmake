@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tagged_test.dir/tagged_test.cpp.o"
+  "CMakeFiles/tagged_test.dir/tagged_test.cpp.o.d"
+  "tagged_test"
+  "tagged_test.pdb"
+  "tagged_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tagged_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treiber_stack_test.dir/treiber_stack_test.cpp.o"
+  "CMakeFiles/treiber_stack_test.dir/treiber_stack_test.cpp.o.d"
+  "treiber_stack_test"
+  "treiber_stack_test.pdb"
+  "treiber_stack_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treiber_stack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/valois_memory_test.dir/valois_memory_test.cpp.o"
+  "CMakeFiles/valois_memory_test.dir/valois_memory_test.cpp.o.d"
+  "valois_memory_test"
+  "valois_memory_test.pdb"
+  "valois_memory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/valois_memory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

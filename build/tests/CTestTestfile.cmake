@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/port_test[1]_include.cmake")
+include("/root/repo/build/tests/tagged_test[1]_include.cmake")
+include("/root/repo/build/tests/locks_test[1]_include.cmake")
+include("/root/repo/build/tests/mem_test[1]_include.cmake")
+include("/root/repo/build/tests/hazard_test[1]_include.cmake")
+include("/root/repo/build/tests/refcount_pool_test[1]_include.cmake")
+include("/root/repo/build/tests/queue_basic_test[1]_include.cmake")
+include("/root/repo/build/tests/queue_lock_variants_test[1]_include.cmake")
+include("/root/repo/build/tests/function_shipping_test[1]_include.cmake")
+include("/root/repo/build/tests/queue_concurrent_test[1]_include.cmake")
+include("/root/repo/build/tests/queue_linearizability_test[1]_include.cmake")
+include("/root/repo/build/tests/spsc_ring_test[1]_include.cmake")
+include("/root/repo/build/tests/treiber_stack_test[1]_include.cmake")
+include("/root/repo/build/tests/lin_check_test[1]_include.cmake")
+include("/root/repo/build/tests/harness_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_queue_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_workload_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_liveness_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_aba_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_explore_test[1]_include.cmake")
+include("/root/repo/build/tests/figure_shape_test[1]_include.cmake")
+include("/root/repo/build/tests/differential_test[1]_include.cmake")
+include("/root/repo/build/tests/valois_memory_test[1]_include.cmake")
