@@ -1,0 +1,186 @@
+// Real-thread fault injection: a FaultPlan arms delay/halt rules against
+// labelled CAS/lock sites inside the queue implementations.
+//
+// The queues are instrumented with fault::point("site") calls at the same
+// pseudo-code windows the simulator labels with co_await p.at(...) -- after
+// a successful E9 link but before the E13 tail swing, inside a lock-held
+// critical section, between MC's fetch_and_store and its link write.  When
+// no plan is armed, point() is a single relaxed atomic load and the queues
+// behave exactly as before; the hook is injected the same way the Backoff
+// policies are -- a seam the hot path pays (nearly) nothing for.
+//
+// Two actions:
+//  * delay: the calling thread yields N times at the site -- an adversarial
+//    scheduler squeezing the window open (the paper's "processes ... delayed");
+//  * halt: the calling thread parks on a condition variable at the site --
+//    crash-stop for real threads ("processes ... halted").  A halted thread
+//    cannot be destroyed, so tests release_halted() before joining; the
+//    point is what the OTHER threads manage to do meanwhile.
+//
+// Tests-only machinery: rules are fixed while armed, and every slow-path
+// interaction takes one mutex (fine under test loads, unacceptable in a
+// benchmark -- which is why benches simply never arm a plan).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+namespace msq::fault {
+
+class FaultPlan;
+
+namespace detail {
+inline std::atomic<FaultPlan*> g_active_plan{nullptr};
+}  // namespace detail
+
+class FaultPlan {
+ public:
+  enum class Action : std::uint8_t { kDelay, kHalt };
+
+  struct Rule {
+    const char* site;
+    Action action;
+    std::uint64_t skip;          // ignore the first `skip` hits of the site
+    std::uint64_t delay_yields;  // kDelay: how many sched yields per hit
+    std::uint32_t max_victims;   // kHalt: how many threads to park, total
+  };
+
+  FaultPlan() = default;
+  ~FaultPlan() {
+    disarm();
+    release_halted();
+    // A well-behaved test joins its threads before the plan dies; waiting
+    // here for parked_ to drain would deadlock against a test that already
+    // failed, so we only wake everyone and trust join-before-destroy.
+  }
+
+  FaultPlan(const FaultPlan&) = delete;
+  FaultPlan& operator=(const FaultPlan&) = delete;
+
+  /// Every hit of `site` after the first `skip` yields `yields` times.
+  FaultPlan& delay_at(const char* site, std::uint64_t yields,
+                      std::uint64_t skip = 0) {
+    rules_.push_back({{site, Action::kDelay, skip, yields, 0}, 0});
+    return *this;
+  }
+
+  /// The first `victims` threads to hit `site` (after `skip` earlier hits)
+  /// park forever -- crash-stop -- until release_halted().
+  FaultPlan& halt_at(const char* site, std::uint64_t skip = 0,
+                     std::uint32_t victims = 1) {
+    rules_.push_back({{site, Action::kHalt, skip, 0, victims}, 0});
+    return *this;
+  }
+
+  /// Install as the process-wide active plan.  One plan at a time.
+  void arm() noexcept {
+    detail::g_active_plan.store(this, std::memory_order_release);
+  }
+  /// Uninstall (idempotent; only if this plan is the active one).
+  void disarm() noexcept {
+    FaultPlan* expected = this;
+    detail::g_active_plan.compare_exchange_strong(expected, nullptr,
+                                                  std::memory_order_acq_rel);
+  }
+
+  /// Wake every parked thread and let all future halts pass through.
+  void release_halted() {
+    {
+      std::scoped_lock lock(mutex_);
+      released_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  /// Total times `site` was reached while this plan was armed.
+  [[nodiscard]] std::uint64_t hits(const char* site) const {
+    std::scoped_lock lock(mutex_);
+    for (const auto& c : counters_) {
+      if (std::string_view(c.site) == site) return c.hits;
+    }
+    return 0;
+  }
+
+  /// Threads parked at halt sites right now.
+  [[nodiscard]] std::uint32_t halted_now() const {
+    std::scoped_lock lock(mutex_);
+    return parked_;
+  }
+
+  /// Block until at least `n` threads are parked (the victim really crashed
+  /// before the test starts measuring survivor progress).
+  void wait_for_halted(std::uint32_t n) {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [&] { return parked_ >= n || released_; });
+  }
+
+  /// Slow path of fault::point().  noexcept: the queues call it from
+  /// noexcept operations; a mutex failure here is fatal anyway.
+  void on_point(const char* site) noexcept {
+    std::uint64_t yields = 0;
+    bool park = false;
+    {
+      std::scoped_lock lock(mutex_);
+      const std::uint64_t hit = bump(site);
+      for (auto& rule : rules_) {
+        if (std::string_view(rule.site) != site) continue;
+        if (hit <= rule.skip) continue;
+        if (rule.action == Action::kDelay) {
+          yields += rule.delay_yields;
+        } else if (!released_ && rule.victims_taken < rule.max_victims) {
+          ++rule.victims_taken;
+          park = true;
+        }
+      }
+    }
+    if (park) {
+      std::unique_lock lock(mutex_);
+      ++parked_;
+      cv_.notify_all();  // wake wait_for_halted() observers
+      cv_.wait(lock, [&] { return released_; });
+      --parked_;
+    }
+    for (std::uint64_t i = 0; i < yields; ++i) std::this_thread::yield();
+  }
+
+ private:
+  struct RuleState : Rule {
+    std::uint32_t victims_taken = 0;
+  };
+  struct Counter {
+    const char* site;
+    std::uint64_t hits = 0;
+  };
+
+  // Returns the 1-based hit number of this visit.  Caller holds mutex_.
+  std::uint64_t bump(const char* site) {
+    for (auto& c : counters_) {
+      if (std::string_view(c.site) == site) return ++c.hits;
+    }
+    counters_.push_back({site, 1});
+    return 1;
+  }
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<RuleState> rules_;
+  std::vector<Counter> counters_;
+  bool released_ = false;
+  std::uint32_t parked_ = 0;
+};
+
+/// The instrumentation hook: compiled into the queues at labelled sites.
+/// No plan armed (the default, and all benchmarks): one relaxed load.
+inline void point(const char* site) noexcept {
+  FaultPlan* plan = detail::g_active_plan.load(std::memory_order_acquire);
+  if (plan != nullptr) [[unlikely]] {
+    plan->on_point(site);
+  }
+}
+
+}  // namespace msq::fault

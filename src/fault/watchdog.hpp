@@ -1,0 +1,97 @@
+// Deadline watchdog for the concurrent stress tests.
+//
+// A wedged run -- a livelocked retry loop, a parked lock holder nobody
+// releases, an MC dequeuer waiting on a link that will never be written --
+// used to hang ctest until the outer CI timeout killed the whole suite
+// with no indication of WHICH test wedged.  The watchdog turns that into a
+// loud, attributed failure: if the guarded scope is still alive after the
+// deadline it prints the scope name to stderr and abort()s, which gtest
+// and ctest both report against the right test.
+//
+// Usage (RAII):
+//   fault::Watchdog dog(std::chrono::seconds(60), "PairedLoopConserves");
+//   ... threads ...                 // wedge => abort with message
+//   // destructor cancels the deadline on normal exit
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace msq::fault {
+
+class Watchdog {
+ public:
+  explicit Watchdog(std::chrono::milliseconds deadline,
+                    std::string scope = "concurrent test")
+      : scope_(std::move(scope)),
+        deadline_(deadline),
+        thread_([this] { run(); }) {}
+
+  ~Watchdog() {
+    cancel();
+    thread_.join();
+  }
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Disarm (normal completion).  Idempotent.
+  void cancel() {
+    {
+      std::scoped_lock lock(mutex_);
+      cancelled_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  /// Push the deadline out from *now* (long tests that are making progress
+  /// can kick the dog between phases).
+  void kick() {
+    {
+      std::scoped_lock lock(mutex_);
+      epoch_ += 1;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  void run() {
+    std::unique_lock lock(mutex_);
+    for (;;) {
+      const std::uint64_t epoch = epoch_;
+      if (cv_.wait_for(lock, deadline_, [&] {
+            return cancelled_ || epoch_ != epoch;
+          })) {
+        if (cancelled_) return;
+        continue;  // kicked: restart the countdown
+      }
+      // Deadline passed with no cancel and no kick: fail loudly.  abort()
+      // rather than a gtest FAIL(): the guarded threads are wedged, so
+      // returning from here would just hang in their joins.
+      std::fprintf(stderr,
+                   "\n[watchdog] '%s' exceeded its %lld ms deadline -- "
+                   "wedged (deadlock or livelock); aborting so ctest fails "
+                   "loudly instead of hanging\n",
+                   scope_.c_str(),
+                   static_cast<long long>(deadline_.count()));
+      std::fflush(stderr);
+      std::abort();
+    }
+  }
+
+  std::string scope_;
+  std::chrono::milliseconds deadline_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool cancelled_ = false;
+  std::uint64_t epoch_ = 0;
+  std::thread thread_;
+};
+
+}  // namespace msq::fault

@@ -16,12 +16,15 @@
 
 #include <atomic>
 #include <barrier>
+#include <chrono>
 #include <cstdint>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "check/history.hpp"
 #include "check/invariants.hpp"
+#include "fault/watchdog.hpp"
 #include "port/clock.hpp"
 #include "port/cpu.hpp"
 #include "port/spin_work.hpp"
@@ -34,6 +37,10 @@ struct WorkloadConfig {
   std::uint64_t total_pairs = 1'000'000;  // the paper's 10^6
   std::uint64_t other_work_iters = 0;     // spin between ops (see calibrate)
   bool record_history = false;            // per-op timestamps + event logs
+  /// Deadline for the whole parallel phase; 0 = no watchdog.  A wedged run
+  /// (deadlock, livelock, a faulted thread that never comes back) aborts
+  /// loudly with the workload name instead of hanging the caller forever.
+  std::chrono::milliseconds watchdog_deadline{0};
 };
 
 struct WorkloadResult {
@@ -114,6 +121,11 @@ WorkloadResult run_workload(Q& queue, const WorkloadConfig& config) {
   };
 
   {
+    std::unique_ptr<fault::Watchdog> watchdog;
+    if (config.watchdog_deadline.count() > 0) {
+      watchdog = std::make_unique<fault::Watchdog>(config.watchdog_deadline,
+                                                   "harness workload");
+    }
     std::vector<std::jthread> threads;
     threads.reserve(p);
     for (std::uint32_t t = 0; t < p; ++t) threads.emplace_back(worker, t);

@@ -35,6 +35,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "fault/fault_plan.hpp"
 #include "mem/freelist.hpp"
 #include "mem/node_pool.hpp"
 #include "mem/value_cell.hpp"
@@ -79,6 +80,7 @@ class MellorCrummeyQueue {
     const tagged::TaggedIndex prev =
         tail_.value.exchange(tagged::TaggedIndex(node, 0));
     // modify: link the predecessor.  A stall HERE is the blocking window.
+    fault::point("mc.link");
     pool_[prev.index()].next.store(tagged::TaggedIndex(node, 0));
     return true;
   }

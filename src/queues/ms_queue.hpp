@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "fault/fault_plan.hpp"
 #include "mem/freelist.hpp"
 #include "mem/node_pool.hpp"
 #include "mem/value_cell.hpp"
@@ -73,10 +74,14 @@ class MsQueue {
       if (tail == tail_.value.load()) {  // E7: are tail and next consistent?
         if (next.is_null()) {            // E8: was Tail pointing to the last node?
           // E9: try to link node at the end of the linked list
+          fault::point("ms.E9");
           if (pool_[tail.index()].next.compare_and_swap(
                   next, next.successor(node))) {
             // E10: break -- enqueue is done.
-            // E13: try to swing Tail to the inserted node.
+            // E13: try to swing Tail to the inserted node.  A thread halted
+            // HERE has committed the enqueue but left Tail lagging -- the
+            // window the helping paths (E12/D9) exist for.
+            fault::point("ms.E13");
             tail_.value.compare_and_swap(tail, tail.successor(node));
             return true;
           }
@@ -108,6 +113,7 @@ class MsQueue {
           // free the next node
           const T value = pool_[next.index()].value.load();
           // D12: try to swing Head to the next node
+          fault::point("ms.D12");
           if (head_.value.compare_and_swap(head, head.successor(next.index()))) {
             out = value;                     // (D11's *pvalue assignment)
             freelist_.free(head.index());    // D14: free the old dummy node

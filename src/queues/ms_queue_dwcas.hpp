@@ -14,6 +14,7 @@
 #include <memory>
 #include <optional>
 
+#include "fault/fault_plan.hpp"
 #include "mem/value_cell.hpp"
 #include "port/cpu.hpp"
 #include "queues/queue_concept.hpp"
@@ -58,7 +59,9 @@ class MsQueueDw {
       const tagged::CountedPtr<Node> next = tail.ptr->next.load();  // E6
       if (tail == tail_.value.load()) {                     // E7
         if (next.ptr == nullptr) {                          // E8
+          fault::point("msdw.E9");
           if (tail.ptr->next.compare_and_swap(next, next.successor(node))) {  // E9
+            fault::point("msdw.E13");  // linked, Tail still lagging
             tail_.value.compare_and_swap(tail, tail.successor(node));  // E13
             return true;  // E10
           }
@@ -82,6 +85,7 @@ class MsQueueDw {
           tail_.value.compare_and_swap(tail, tail.successor(next.ptr));  // D9
         } else {
           const T value = next.ptr->value.load();  // D11
+          fault::point("msdw.D12");
           if (head_.value.compare_and_swap(head, head.successor(next.ptr))) {  // D12
             out = value;
             push_free(head.ptr);  // D14

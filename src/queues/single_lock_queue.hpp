@@ -13,6 +13,7 @@
 #include <optional>
 #include <utility>
 
+#include "fault/fault_plan.hpp"
 #include "mem/node_pool.hpp"
 #include "port/cpu.hpp"
 #include "queues/queue_concept.hpp"
@@ -48,6 +49,7 @@ class SingleLockQueue {
 
   bool try_enqueue(T value) {
     std::scoped_lock guard(lock_.value);
+    fault::point("singlelock.held");  // halted here: the whole queue wedges
     const std::uint32_t node = allocate();
     if (node == tagged::kNullIndex) return false;
     pool_[node].value = std::move(value);
@@ -59,6 +61,7 @@ class SingleLockQueue {
 
   bool try_dequeue(T& out) {
     std::scoped_lock guard(lock_.value);
+    fault::point("singlelock.held");
     const std::uint32_t dummy = head_;
     const std::uint32_t first = pool_[dummy].next;
     if (first == tagged::kNullIndex) return false;

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "fault/fault_plan.hpp"
 #include "mem/node_pool.hpp"
 #include "mem/value_cell.hpp"
 #include "port/cpu.hpp"
@@ -49,6 +50,7 @@ class TreiberStack {
     for (;;) {
       const tagged::TaggedIndex top = top_.value.load();
       pool_[node].next.store(tagged::TaggedIndex(top.index(), 0));
+      fault::point("treiber.push_cas");
       if (top_.value.compare_and_swap(top, top.successor(node))) return true;
       backoff.pause();
     }
@@ -62,6 +64,7 @@ class TreiberStack {
       if (top.is_null()) return false;
       const tagged::TaggedIndex next = pool_[top.index()].next.load();
       const T value = pool_[top.index()].value.load();  // before CAS, as in D11
+      fault::point("treiber.pop_cas");
       if (top_.value.compare_and_swap(top, top.successor(next.index()))) {
         out = value;
         free_push(top.index());

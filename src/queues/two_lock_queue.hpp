@@ -20,6 +20,7 @@
 #include <optional>
 #include <utility>
 
+#include "fault/fault_plan.hpp"
 #include "mem/freelist.hpp"
 #include "mem/node_pool.hpp"
 #include "port/cpu.hpp"
@@ -65,6 +66,7 @@ class TwoLockQueue {
 
     {
       std::scoped_lock guard(tail_lock_.value);       // lock(&Q->T_lock)
+      fault::point("twolock.T_held");  // a thread halted here wedges enqueuers
       pool_[tail_.value].next.store(                  // Q->Tail->next = node
           tagged::TaggedIndex(node, 0));
       tail_.value = node;                             // Q->Tail = node
@@ -76,6 +78,7 @@ class TwoLockQueue {
     std::uint32_t old_dummy;
     {
       std::scoped_lock guard(head_lock_.value);       // lock(&Q->H_lock)
+      fault::point("twolock.H_held");  // a thread halted here wedges dequeuers
       old_dummy = head_.value;                        // node = Q->Head
       const tagged::TaggedIndex new_head =
           pool_[old_dummy].next.load();               // new_head = node->next

@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "fault/fault_plan.hpp"
 #include "mem/refcount_pool.hpp"
 #include "mem/value_cell.hpp"
 #include "port/cpu.hpp"
@@ -85,6 +86,7 @@ class ValoisQueue {
       if (next.is_null()) {
         if (rc_cas(pool_.node(tail.index()).rc.next, next, node)) {
           // Linked.  Single attempt to swing Tail (may fail: Tail lags).
+          fault::point("valois.link");
           rc_cas(tail_.value, tail, node);
           pool_.release(tail.index());  // SafeRead reference
           break;

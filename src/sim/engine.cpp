@@ -95,13 +95,27 @@ void Engine::resume_one(std::uint32_t id) {
 
 bool Engine::step(std::uint32_t id) {
   Process& p = process(id);
-  if (p.finished) return false;
+  if (p.finished || p.crashed) return false;
   if (p.freeze_label != nullptr && p.label != nullptr &&
       std::string_view(p.label) == p.freeze_label) {
     p.frozen = true;
   }
+  if (p.stall_remaining > 0) {
+    // The step is consumed idling: a stalled process declines its slot.
+    tick_stalls();
+    return true;
+  }
+  tick_stalls();
   resume_one(id);
   return true;
+}
+
+void Engine::tick_stalls() noexcept {
+  for (auto& p : processes_) {
+    if (!p->finished && !p->crashed && p->stall_remaining > 0) {
+      --p->stall_remaining;
+    }
+  }
 }
 
 void Engine::freeze_at_label(std::uint32_t id, const char* label) {
@@ -114,27 +128,41 @@ bool Engine::all_done() const {
 }
 
 bool Engine::runnable_exists() const {
+  // A stalled process counts: it becomes runnable again by itself.
   return std::any_of(processes_.begin(), processes_.end(), [](const auto& p) {
-    return !p->finished && !p->frozen;
+    return !p->finished && !p->frozen && !p->crashed;
   });
 }
 
 bool Engine::step_random() {
   // Collect runnable processes, honouring freeze labels first.
   std::vector<std::uint32_t> runnable;
+  bool stalled_exists = false;
   runnable.reserve(processes_.size());
   for (std::uint32_t i = 0; i < processes_.size(); ++i) {
     Process& p = *processes_[i];
-    if (p.finished) continue;
+    if (p.finished || p.crashed) continue;
     if (p.freeze_label != nullptr && p.label != nullptr &&
         std::string_view(p.label) == p.freeze_label) {
       p.frozen = true;
     }
-    if (!p.frozen) runnable.push_back(i);
+    if (p.frozen) continue;
+    if (p.stall_remaining > 0) {
+      stalled_exists = true;
+      continue;
+    }
+    runnable.push_back(i);
   }
-  if (runnable.empty()) return false;
+  if (runnable.empty()) {
+    // Only stalled processes left: time passes as an idle tick so their
+    // delays elapse (otherwise a stall could never end).
+    if (!stalled_exists) return false;
+    tick_stalls();
+    return true;
+  }
   const std::uint32_t pick =
       runnable[static_cast<std::size_t>(rng_.below(runnable.size()))];
+  tick_stalls();
   resume_one(pick);
   return true;
 }
@@ -160,8 +188,7 @@ double Engine::run_cost_model() {
 
   auto runnable_on = [&](const Processor& pr) {
     return std::any_of(pr.procs.begin(), pr.procs.end(), [&](std::uint32_t id) {
-      const Process& p = process(id);
-      return !p.finished && !p.frozen;
+      return process(id).runnable();
     });
   };
 
@@ -172,7 +199,18 @@ double Engine::run_cost_model() {
       if (!runnable_on(pr)) continue;
       if (chosen == nullptr || pr.clock < chosen->clock) chosen = &pr;
     }
-    if (chosen == nullptr) break;  // everything finished (or frozen)
+    if (chosen == nullptr) {
+      // Nothing immediately runnable; stalled processes (bounded delays)
+      // wake after an idle tick, crashed/frozen/finished ones never do.
+      const bool stalled_exists = std::any_of(
+          processes_.begin(), processes_.end(), [](const auto& p) {
+            return !p->finished && !p->frozen && !p->crashed &&
+                   p->stall_remaining > 0;
+          });
+      if (!stalled_exists) break;  // everything finished (or halted)
+      tick_stalls();
+      continue;
+    }
 
     // Round-robin within the processor: advance the cursor past processes
     // that finished or are frozen (a frozen process models one that is
@@ -181,13 +219,14 @@ double Engine::run_cost_model() {
     std::size_t scanned = 0;
     while (scanned < pr.procs.size()) {
       const Process& p = process(pr.procs[pr.current]);
-      if (!p.finished && !p.frozen) break;
+      if (p.runnable()) break;
       pr.current = (pr.current + 1) % pr.procs.size();
       pr.quantum_used = 0;
       ++scanned;
     }
     const std::uint32_t id = pr.procs[pr.current];
 
+    tick_stalls();
     resume_one(id);
     const double cost = process(id).last_step_cost;
     pr.clock += cost;

@@ -172,6 +172,28 @@ class Engine {
   /// each of its steps).  Pass nullptr to cancel.
   void freeze_at_label(std::uint32_t id, const char* label);
 
+  // --- fault-injection interface (src/fault) -----------------------------
+  /// Crash-stop failure: process `id` halts forever at its current step,
+  /// mid-operation, and can never be revived (unlike freeze/unfreeze).  Its
+  /// done() stays false; any shared state it half-updated stays exactly as
+  /// the crash left it.  This is the paper's "process is halted or delayed"
+  /// hypothesis made permanent (section 1's case for non-blocking progress).
+  void crash(std::uint32_t id) { process(id).crashed = true; }
+  [[nodiscard]] bool is_crashed(std::uint32_t id) const {
+    return process(id).crashed;
+  }
+  /// Transient stall: process `id` declines the next `steps` engine steps
+  /// (scheduling opportunities), then becomes runnable again by itself --
+  /// a bounded delay, as opposed to crash()'s unbounded one.  Counters tick
+  /// on every engine step, including idle ticks taken when every live
+  /// process is stalled.
+  void stall(std::uint32_t id, std::uint64_t steps) {
+    process(id).stall_remaining = steps;
+  }
+  [[nodiscard]] bool is_stalled(std::uint32_t id) const {
+    return process(id).stall_remaining > 0;
+  }
+
   [[nodiscard]] bool done(std::uint32_t id) const {
     return process(id).finished;
   }
@@ -207,9 +229,15 @@ class Engine {
     bool started = false;
     bool finished = false;
     bool frozen = false;
+    bool crashed = false;
+    std::uint64_t stall_remaining = 0;
     const char* label = "";
     const char* freeze_label = nullptr;
     double last_step_cost = 0;
+
+    [[nodiscard]] bool runnable() const noexcept {
+      return !finished && !frozen && !crashed && stall_remaining == 0;
+    }
   };
 
   struct Processor {
@@ -229,6 +257,9 @@ class Engine {
 
   /// Resume process `id` for one step (it must be runnable).
   void resume_one(std::uint32_t id);
+
+  /// One engine step elapsed: tick down every live process's stall counter.
+  void tick_stalls() noexcept;
 
   EngineConfig config_;
   SimMemory memory_;

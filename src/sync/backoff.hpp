@@ -43,6 +43,12 @@ class Backoff {
   /// Forget accumulated contention history (call after success).
   void reset() noexcept { window_ = params_.min_spins; }
 
+  /// Current window (upper bound on the next episode's spin count).
+  /// Observable so tests can pin down the doubling/saturation/reset
+  /// semantics without timing anything.
+  [[nodiscard]] std::uint32_t window() const noexcept { return window_; }
+  [[nodiscard]] const Params& params() const noexcept { return params_; }
+
  private:
   Params params_;
   std::uint32_t window_;

@@ -1,0 +1,104 @@
+// Pool-exhaustion backpressure at the queue API, typed over every
+// pool-backed queue: when the free list runs dry (mem/*_pool returns
+// kNullIndex), try_enqueue must surface a clean `false` -- never an assert,
+// never a half-linked node -- and the failed attempt must not leak the
+// node it failed to place.  The leak proof is cyclic: fill-to-refusal,
+// drain-to-empty, repeated; a single leaked node per cycle would shrink the
+// observed capacity monotonically, so "every cycle fills to exactly the
+// same count" pins the no-leak property without reaching into pool
+// internals.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "queues/queues.hpp"
+
+namespace msq::queues {
+namespace {
+
+constexpr std::uint32_t kCapacity = 48;
+constexpr int kCycles = 5;
+
+template <typename Q>
+class PoolExhaustionTest : public ::testing::Test {
+ protected:
+  Q queue_{kCapacity};
+};
+
+using PoolBackedTypes =
+    ::testing::Types<MsQueue<std::uint64_t>, MsQueueDw<std::uint64_t>,
+                     TwoLockQueue<std::uint64_t>, SingleLockQueue<std::uint64_t>,
+                     MellorCrummeyQueue<std::uint64_t>, RingQueue<std::uint64_t>,
+                     PljQueue<std::uint64_t>, ValoisQueue<std::uint64_t>>;
+TYPED_TEST_SUITE(PoolExhaustionTest, PoolBackedTypes);
+
+TYPED_TEST(PoolExhaustionTest, RefusalIsCleanAndRepeatable) {
+  static_assert(TypeParam::traits.pool_backed);
+  // Fill to refusal once, then hammer the refused path: every further
+  // attempt must return false (not assert, not succeed spuriously).
+  std::uint64_t filled = 0;
+  while (this->queue_.try_enqueue(filled)) ++filled;
+  ASSERT_GT(filled, 0u);
+  for (int i = 0; i < 1'000; ++i) {
+    EXPECT_FALSE(this->queue_.try_enqueue(0xdead));
+  }
+  // Exactly what went in comes out, in order; the refused values never
+  // materialise.
+  std::uint64_t out = 0;
+  for (std::uint64_t i = 0; i < filled; ++i) {
+    ASSERT_TRUE(this->queue_.try_dequeue(out)) << "lost item " << i;
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(this->queue_.try_dequeue(out));
+}
+
+TYPED_TEST(PoolExhaustionTest, FillDrainCyclesShowNoNodeLeak) {
+  std::vector<std::uint64_t> fill_counts;
+  for (int cycle = 0; cycle < kCycles; ++cycle) {
+    std::uint64_t filled = 0;
+    while (this->queue_.try_enqueue(filled)) ++filled;
+    // A few extra refusals per cycle: the failure path itself must not
+    // consume nodes either.
+    for (int i = 0; i < 10; ++i) {
+      EXPECT_FALSE(this->queue_.try_enqueue(0xbeef));
+    }
+    std::uint64_t drained = 0, out = 0;
+    while (this->queue_.try_dequeue(out)) ++drained;
+    EXPECT_EQ(drained, filled) << "cycle " << cycle << " lost nodes in flight";
+    fill_counts.push_back(filled);
+  }
+  // Capacity observed by cycle 0 must persist: any leak -- in the refused
+  // enqueue, the drain, or reclamation (Valois's cascade, MS's free-list
+  // recycling) -- would make later cycles fill to fewer items.
+  for (int cycle = 1; cycle < kCycles; ++cycle) {
+    EXPECT_EQ(fill_counts[cycle], fill_counts[0])
+        << "capacity decayed by cycle " << cycle;
+  }
+  EXPECT_GT(fill_counts[0], 0u);
+}
+
+TEST(TreiberExhaustion, TryPushRefusesCleanlyAndCyclesWithoutLeak) {
+  TreiberStack<std::uint64_t> stack(kCapacity);
+  std::vector<std::uint64_t> fill_counts;
+  for (int cycle = 0; cycle < kCycles; ++cycle) {
+    std::uint64_t filled = 0;
+    while (stack.try_push(filled)) ++filled;
+    for (int i = 0; i < 10; ++i) EXPECT_FALSE(stack.try_push(0xdead));
+    std::uint64_t out = 0, popped = 0;
+    while (stack.try_pop(out)) {
+      // LIFO: values come back in reverse, and never a refused one.
+      EXPECT_EQ(out, filled - 1 - popped);
+      ++popped;
+    }
+    EXPECT_EQ(popped, filled);
+    fill_counts.push_back(filled);
+  }
+  for (int cycle = 1; cycle < kCycles; ++cycle) {
+    EXPECT_EQ(fill_counts[cycle], fill_counts[0]);
+  }
+  EXPECT_GT(fill_counts[0], 0u);
+}
+
+}  // namespace
+}  // namespace msq::queues

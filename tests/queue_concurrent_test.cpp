@@ -9,11 +9,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <thread>
 #include <vector>
 
 #include "check/invariants.hpp"
+#include "fault/watchdog.hpp"
 #include "queues/queues.hpp"
 
 namespace msq::queues {
@@ -33,6 +35,10 @@ struct Factory<MsQueueHp<T, B>> {
 template <typename Q>
 class QueueConcurrentTest : public ::testing::Test {
  protected:
+  // A wedged run (e.g. a blocking queue whose lock holder was preempted
+  // forever) aborts with an attributed message instead of hanging ctest.
+  fault::Watchdog watchdog_{std::chrono::seconds(240),
+                            "queue_concurrent stress"};
   decltype(Factory<Q>::make()) queue_ = Factory<Q>::make();
 };
 
