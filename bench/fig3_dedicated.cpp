@@ -13,6 +13,7 @@ int main(int argc, char** argv) {
   msq::bench::FigConfig config;
   config.title = "Figure 3: dedicated multiprocessor (1 process/processor)";
   config.procs_per_processor = 1;
+  config.json_path = "BENCH_fig3.json";
   if (!msq::bench::parse_args(argc, argv, config)) return 1;
   msq::bench::run_figure(config);
   return 0;

@@ -12,6 +12,7 @@ int main(int argc, char** argv) {
   msq::bench::FigConfig config;
   config.title = "Figure 4: multiprogrammed, 2 processes per processor";
   config.procs_per_processor = 2;
+  config.json_path = "BENCH_fig4.json";
   if (!msq::bench::parse_args(argc, argv, config)) return 1;
   msq::bench::run_figure(config);
   return 0;

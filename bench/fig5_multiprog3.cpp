@@ -10,6 +10,7 @@ int main(int argc, char** argv) {
   msq::bench::FigConfig config;
   config.title = "Figure 5: multiprogrammed, 3 processes per processor";
   config.procs_per_processor = 3;
+  config.json_path = "BENCH_fig5.json";
   if (!msq::bench::parse_args(argc, argv, config)) return 1;
   msq::bench::run_figure(config);
   return 0;

@@ -11,6 +11,10 @@
 //                  this host; reported separately)
 //   --csv          emit CSV instead of the aligned table
 //   --seed S       simulator seed
+//   --json         ALSO write the sweep (throughput + per-op observability
+//                  counters per algorithm and proc count) to the bench's
+//                  BENCH_*.json file, and print per-op counter companion
+//                  tables (schema: tools/check_bench_json.py)
 #pragma once
 
 #include <cstdint>
@@ -25,6 +29,8 @@ struct FigConfig {
   std::uint32_t max_procs = 12;
   bool also_real = false;
   bool csv = false;
+  bool json = false;              // --json: emit machine-readable output
+  std::string json_path = "BENCH_fig.json";  // overridden by each bench main
   std::uint64_t seed = 1;
   double backoff_max = 1024;  // ablation overrides this
 };

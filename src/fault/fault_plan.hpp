@@ -30,6 +30,13 @@
 #include <thread>
 #include <vector>
 
+// Shared probe gate (see src/obs/counters.hpp and the MSQ_PROBES CMake
+// option): when 0, point() is a constexpr no-op and the FaultPlan class
+// stays compilable but inert -- Release figure runs pay nothing at all.
+#ifndef MSQ_PROBES
+#define MSQ_PROBES 1
+#endif
+
 namespace msq::fault {
 
 class FaultPlan;
@@ -176,11 +183,18 @@ class FaultPlan {
 
 /// The instrumentation hook: compiled into the queues at labelled sites.
 /// No plan armed (the default, and all benchmarks): one relaxed load.
+/// MSQ_PROBES=0: constexpr no-op -- the constexpr-ness doubles as the
+/// compile-time proof that the disabled hook contains no atomic load
+/// (tests/probes_off_test.cpp).
+#if MSQ_PROBES
 inline void point(const char* site) noexcept {
   FaultPlan* plan = detail::g_active_plan.load(std::memory_order_acquire);
   if (plan != nullptr) [[unlikely]] {
     plan->on_point(site);
   }
 }
+#else
+constexpr void point(const char* /*site*/) noexcept {}
+#endif
 
 }  // namespace msq::fault

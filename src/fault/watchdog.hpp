@@ -23,6 +23,8 @@
 #include <string>
 #include <thread>
 
+#include "obs/report.hpp"
+
 namespace msq::fault {
 
 class Watchdog {
@@ -80,6 +82,11 @@ class Watchdog {
                    "loudly instead of hanging\n",
                    scope_.c_str(),
                    static_cast<long long>(deadline_.count()));
+      // Wedge attribution: the counter snapshot says which mechanism the
+      // threads died in -- a livelocked CAS loop shows cas_fail racing
+      // ahead of completed ops, a parked lock holder shows lock_spin
+      // climbing with zero dequeues, a drained pool shows pool_refuse.
+      obs::dump_counters_stderr("counter snapshot at watchdog abort");
       std::fflush(stderr);
       std::abort();
     }

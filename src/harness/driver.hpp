@@ -25,6 +25,7 @@
 #include "check/history.hpp"
 #include "check/invariants.hpp"
 #include "fault/watchdog.hpp"
+#include "obs/histogram.hpp"
 #include "port/clock.hpp"
 #include "port/cpu.hpp"
 #include "port/spin_work.hpp"
@@ -37,6 +38,7 @@ struct WorkloadConfig {
   std::uint64_t total_pairs = 1'000'000;  // the paper's 10^6
   std::uint64_t other_work_iters = 0;     // spin between ops (see calibrate)
   bool record_history = false;            // per-op timestamps + event logs
+  bool record_latency = false;            // per-op ns histograms (obs)
   /// Deadline for the whole parallel phase; 0 = no watchdog.  A wedged run
   /// (deadlock, livelock, a faulted thread that never comes back) aborts
   /// loudly with the workload name instead of hanging the caller forever.
@@ -51,6 +53,8 @@ struct WorkloadResult {
   std::uint64_t empty_dequeues = 0;  // observed-empty results
   std::uint64_t enqueue_failures = 0;  // pool exhausted (retried)
   std::vector<check::ThreadLog> logs;  // filled iff record_history
+  obs::Histogram enqueue_latency_ns;   // filled iff record_latency
+  obs::Histogram dequeue_latency_ns;   // filled iff record_latency
 };
 
 /// Time for one processor to execute `pairs` iterations of the loop's two
@@ -73,12 +77,21 @@ WorkloadResult run_workload(Q& queue, const WorkloadConfig& config) {
   std::atomic<std::uint64_t> enqueue_failures{0};
   std::barrier start_barrier(static_cast<std::ptrdiff_t>(p) + 1);
 
+  // Per-thread shards, merged after the join: Histogram is deliberately
+  // non-atomic (see obs/histogram.hpp), so each worker records privately.
+  struct LatencyShard {
+    obs::Histogram enqueue_ns;
+    obs::Histogram dequeue_ns;
+  };
+  std::vector<LatencyShard> latency(config.record_latency ? p : 0);
+
   auto worker = [&](std::uint32_t thread_id) {
     // floor or ceil of total/p so the totals add up exactly, as in the paper.
     const std::uint64_t pairs =
         config.total_pairs / p + (thread_id < config.total_pairs % p ? 1 : 0);
     check::ThreadLog& log = result.logs[thread_id];
     if (config.record_history) log.reserve(2 * pairs);
+    const bool timed = config.record_history || config.record_latency;
 
     std::uint64_t local_enq = 0, local_deq = 0, local_empty = 0, local_fail = 0;
     start_barrier.arrive_and_wait();
@@ -86,29 +99,44 @@ WorkloadResult run_workload(Q& queue, const WorkloadConfig& config) {
     for (std::uint64_t i = 0; i < pairs; ++i) {
       // enqueue an item ...
       const std::uint64_t value = check::encode_value(thread_id, i);
-      const std::int64_t enq_inv = config.record_history ? port::now_ns() : 0;
+      const std::int64_t enq_inv = timed ? port::now_ns() : 0;
       while (!queue.try_enqueue(value)) {
         ++local_fail;  // pool exhausted: another thread must dequeue first
         port::cpu_relax();
       }
       ++local_enq;
-      if (config.record_history) {
-        log.record(check::OpKind::kEnqueue, value, enq_inv, port::now_ns());
+      if (timed) {
+        const std::int64_t enq_done = port::now_ns();
+        if (config.record_history) {
+          log.record(check::OpKind::kEnqueue, value, enq_inv, enq_done);
+        }
+        if (config.record_latency) {
+          latency[thread_id].enqueue_ns.record(
+              static_cast<std::uint64_t>(enq_done - enq_inv));
+        }
       }
       // ... do "other work" ...
       port::spin_work(config.other_work_iters);
       // ... dequeue an item ...
       std::uint64_t out = 0;
-      const std::int64_t deq_inv = config.record_history ? port::now_ns() : 0;
+      const std::int64_t deq_inv = timed ? port::now_ns() : 0;
       const bool got = queue.try_dequeue(out);
       if (got) {
         ++local_deq;
       } else {
         ++local_empty;
       }
-      if (config.record_history) {
-        log.record(got ? check::OpKind::kDequeue : check::OpKind::kDequeueEmpty,
-                   out, deq_inv, port::now_ns());
+      if (timed) {
+        const std::int64_t deq_done = port::now_ns();
+        if (config.record_history) {
+          log.record(
+              got ? check::OpKind::kDequeue : check::OpKind::kDequeueEmpty,
+              out, deq_inv, deq_done);
+        }
+        if (config.record_latency) {
+          latency[thread_id].dequeue_ns.record(
+              static_cast<std::uint64_t>(deq_done - deq_inv));
+        }
       }
       // ... do "other work", and repeat.
       port::spin_work(config.other_work_iters);
@@ -140,6 +168,10 @@ WorkloadResult run_workload(Q& queue, const WorkloadConfig& config) {
   result.dequeues = dequeues.load();
   result.empty_dequeues = empty_dequeues.load();
   result.enqueue_failures = enqueue_failures.load();
+  for (const LatencyShard& shard : latency) {
+    result.enqueue_latency_ns.merge(shard.enqueue_ns);
+    result.dequeue_latency_ns.merge(shard.dequeue_ns);
+  }
 
   // Subtract one processor's worth of "other work" (paper section 4).
   const double pairs_per_proc =

@@ -12,7 +12,12 @@ Summary summarize(std::vector<double> samples) {
   std::sort(samples.begin(), samples.end());
   s.min = samples.front();
   s.max = samples.back();
-  s.median = samples[samples.size() / 2];
+  // Even n: average the two middle samples (the upper-middle alone biases
+  // the median high on small bench sample sets).
+  const std::size_t mid = samples.size() / 2;
+  s.median = (samples.size() % 2 == 0)
+                 ? (samples[mid - 1] + samples[mid]) / 2.0
+                 : samples[mid];
   double sum = 0;
   for (double x : samples) sum += x;
   s.mean = sum / static_cast<double>(samples.size());

@@ -13,6 +13,7 @@
 #include <cstdint>
 
 #include "mem/node_pool.hpp"
+#include "obs/counters.hpp"
 #include "tagged/atomic_tagged.hpp"
 #include "tagged/tagged_index.hpp"
 
@@ -37,9 +38,13 @@ class FreeList {
   [[nodiscard]] std::uint32_t try_allocate() noexcept {
     for (;;) {
       const tagged::TaggedIndex top = top_.load();
-      if (top.is_null()) return tagged::kNullIndex;
+      if (top.is_null()) {
+        MSQ_COUNT(kPoolRefuse);
+        return tagged::kNullIndex;
+      }
       const tagged::TaggedIndex next = pool_[top.index()].next.load();
       if (top_.compare_and_swap(top, top.successor(next.index()))) {
+        MSQ_COUNT(kPoolGet);
         return top.index();
       }
     }

@@ -33,6 +33,7 @@
 #include <cstdint>
 
 #include "mem/node_pool.hpp"
+#include "obs/counters.hpp"
 #include "tagged/atomic_tagged.hpp"
 #include "tagged/tagged_index.hpp"
 
@@ -64,7 +65,10 @@ class RefCountPool {
   [[nodiscard]] std::uint32_t try_allocate() noexcept {
     for (;;) {
       const tagged::TaggedIndex top = free_top_.load();
-      if (top.is_null()) return tagged::kNullIndex;
+      if (top.is_null()) {
+        MSQ_COUNT(kPoolRefuse);
+        return tagged::kNullIndex;
+      }
       const tagged::TaggedIndex next = pool_[top.index()].rc.next.load();
       if (free_top_.compare_and_swap(top, top.successor(next.index()))) {
         Node& n = pool_[top.index()];
@@ -74,6 +78,7 @@ class RefCountPool {
         // store would erase increments from concurrent stale SafeReads,
         // which is one of the races TR 599 fixes.
         n.rc.refct_claim.fetch_add(1, std::memory_order_acq_rel);
+        MSQ_COUNT(kPoolGet);
         return top.index();
       }
     }

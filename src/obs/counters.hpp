@@ -1,0 +1,225 @@
+// Observability layer, part 1: named per-thread-sharded operation counters.
+//
+// The paper's section 4 argument is about *mechanisms*, not just net time:
+// the MS queue wins because failed CASes are cheap retries while lock-based
+// algorithms burn their time spinning on a held lock, and bounded
+// exponential backoff tames both.  These counters make those mechanisms
+// measurable: every instrumented retry loop bumps a named counter
+// (cas_attempt/cas_fail, lock_spin, backoff_wait, ...) and the bench layer
+// reports them per operation next to the throughput curves.
+//
+// Design constraints, in order:
+//  1. The hot path must stay honest.  Counting is per-thread-sharded
+//     (cacheline-padded shards, relaxed increments -- no contention is
+//     *added* by the act of measuring contention) and, when no one has
+//     called arm(), a probe is a single relaxed load of one shared flag --
+//     the same one-relaxed-load-when-unarmed idiom as fault::point().
+//  2. Compiled out entirely when MSQ_OBS=0 (or the MSQ_PROBES CMake option
+//     is OFF): every entry point degenerates to a constexpr no-op.  The
+//     constexpr-ness is itself the compile-time proof that the disabled
+//     path contains no atomic operations -- std::atomic loads are not
+//     constant-expression-evaluable, so `static_assert((obs::count(...),
+//     true))` only compiles when the function body is empty of them
+//     (tests/probes_off_test.cpp).
+//  3. Snapshots aggregate on read: snapshot() sums the shards with relaxed
+//     loads, so writers are never stalled by a reader.  Benches bracket a
+//     run with two snapshots and subtract.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "port/cpu.hpp"
+
+// MSQ_PROBES gates BOTH the fault-injection points and the observability
+// probes (shared CMake option); MSQ_OBS can additionally be forced to 0 to
+// strip only the counters while keeping fault points.
+#ifndef MSQ_PROBES
+#define MSQ_PROBES 1
+#endif
+#ifndef MSQ_OBS
+#define MSQ_OBS MSQ_PROBES
+#endif
+
+namespace msq::obs {
+
+/// The counter registry.  Names follow the probe-naming convention in
+/// docs/ALGORITHMS.md: a counter records *events of one mechanism*, summed
+/// over all sites that exhibit it, so curves stay comparable across
+/// algorithms.
+enum class Counter : std::uint32_t {
+  kEnqueue,       // completed enqueue/push operations
+  kDequeue,       // completed dequeue/pop operations (non-empty)
+  kDequeueEmpty,  // dequeue/pop attempts that observed an empty container
+  kCasAttempt,    // linearizing CAS attempts (the labelled E9/D12-class sites)
+  kCasFail,       // ... of which failed (lost the race; paper's retry cost)
+  kBackoffWait,   // cpu_relax() spins executed inside backoff episodes
+  kLockAcquire,   // lock() acquisitions
+  kLockSpin,      // spin iterations while the lock was observed held
+  kPoolGet,       // successful node-pool allocations
+  kPoolRefuse,    // pool-exhausted allocation failures
+};
+
+inline constexpr std::size_t kCounterCount = 10;
+
+inline constexpr std::array<Counter, kCounterCount> kAllCounters = {
+    Counter::kEnqueue,     Counter::kDequeue,    Counter::kDequeueEmpty,
+    Counter::kCasAttempt,  Counter::kCasFail,    Counter::kBackoffWait,
+    Counter::kLockAcquire, Counter::kLockSpin,   Counter::kPoolGet,
+    Counter::kPoolRefuse};
+
+[[nodiscard]] constexpr const char* counter_name(Counter c) noexcept {
+  switch (c) {
+    case Counter::kEnqueue:      return "enqueue";
+    case Counter::kDequeue:      return "dequeue";
+    case Counter::kDequeueEmpty: return "dequeue_empty";
+    case Counter::kCasAttempt:   return "cas_attempt";
+    case Counter::kCasFail:      return "cas_fail";
+    case Counter::kBackoffWait:  return "backoff_wait";
+    case Counter::kLockAcquire:  return "lock_acquire";
+    case Counter::kLockSpin:     return "lock_spin";
+    case Counter::kPoolGet:      return "pool_get";
+    case Counter::kPoolRefuse:   return "pool_refuse";
+  }
+  return "?";
+}
+
+/// Aggregated totals at one instant.  Plain values: subtract two snapshots
+/// to attribute counts to a bracketed run.
+struct Snapshot {
+  std::array<std::uint64_t, kCounterCount> totals{};
+
+  [[nodiscard]] std::uint64_t operator[](Counter c) const noexcept {
+    return totals[static_cast<std::size_t>(c)];
+  }
+  [[nodiscard]] Snapshot operator-(const Snapshot& rhs) const noexcept {
+    Snapshot d;
+    for (std::size_t i = 0; i < kCounterCount; ++i) {
+      d.totals[i] = totals[i] - rhs.totals[i];
+    }
+    return d;
+  }
+  /// Per-operation rate (0 when ops == 0, so empty runs render cleanly).
+  [[nodiscard]] double per_op(Counter c, std::uint64_t ops) const noexcept {
+    return ops == 0 ? 0.0
+                    : static_cast<double>((*this)[c]) /
+                          static_cast<double>(ops);
+  }
+};
+
+#if MSQ_OBS
+
+namespace detail {
+
+/// Shard count bounds memory, not thread count: thread 65+ shares a shard
+/// (increments stay atomic, sums stay exact).  Shards of exited threads
+/// keep their totals -- aggregate-on-read wants history, not residency.
+inline constexpr std::size_t kShards = 64;
+
+struct alignas(port::kCacheLine) Shard {
+  std::array<std::atomic<std::uint64_t>, kCounterCount> v{};
+};
+
+struct Registry {
+  std::array<Shard, kShards> shards{};
+  std::atomic<std::uint32_t> next_slot{0};
+};
+
+inline Registry& registry() noexcept {
+  static Registry r;
+  return r;
+}
+
+inline std::atomic<bool> g_armed{false};
+
+/// Cheap thread-local handle: one shard assignment per thread lifetime.
+inline Shard& local_shard() noexcept {
+  thread_local Shard* shard =
+      &registry().shards[registry().next_slot.fetch_add(
+                             1, std::memory_order_relaxed) %
+                         kShards];
+  return *shard;
+}
+
+}  // namespace detail
+
+/// Start recording.  Probes hit before arm() cost one relaxed load each.
+inline void arm() noexcept {
+  detail::g_armed.store(true, std::memory_order_release);
+}
+inline void disarm() noexcept {
+  detail::g_armed.store(false, std::memory_order_release);
+}
+[[nodiscard]] inline bool armed() noexcept {
+  return detail::g_armed.load(std::memory_order_acquire);
+}
+
+/// The probe.  Unarmed: one relaxed load, no store, no shared-line write.
+inline void count(Counter c, std::uint64_t n = 1) noexcept {
+  if (!detail::g_armed.load(std::memory_order_relaxed)) [[likely]] return;
+  detail::local_shard().v[static_cast<std::size_t>(c)].fetch_add(
+      n, std::memory_order_relaxed);
+}
+
+/// Aggregate-on-read: sums every shard with relaxed loads.  Taken while
+/// writers run, the result is a consistent-enough monotone snapshot (each
+/// counter individually exact up to in-flight increments).
+[[nodiscard]] inline Snapshot snapshot() noexcept {
+  Snapshot s;
+  for (const detail::Shard& shard : detail::registry().shards) {
+    for (std::size_t i = 0; i < kCounterCount; ++i) {
+      s.totals[i] += shard.v[i].load(std::memory_order_relaxed);
+    }
+  }
+  return s;
+}
+
+/// Zero every shard.  Only meaningful while no instrumented code runs;
+/// bracketing with two snapshots is the race-free alternative.
+inline void reset() noexcept {
+  for (detail::Shard& shard : detail::registry().shards) {
+    for (auto& cell : shard.v) cell.store(0, std::memory_order_relaxed);
+  }
+}
+
+#else  // MSQ_OBS == 0: constexpr no-ops (see header comment, point 2).
+
+constexpr void arm() noexcept {}
+constexpr void disarm() noexcept {}
+[[nodiscard]] constexpr bool armed() noexcept { return false; }
+constexpr void count(Counter, std::uint64_t = 1) noexcept {}
+[[nodiscard]] inline Snapshot snapshot() noexcept { return {}; }
+constexpr void reset() noexcept {}
+
+#endif  // MSQ_OBS
+
+/// Local spin tally for lock loops: accumulate in a register while
+/// spinning, publish once on exit, so the armed cost stays out of the
+/// spin loop itself.  Compiles to nothing when MSQ_OBS=0.
+class SpinTally {
+ public:
+#if MSQ_OBS
+  void bump(std::uint64_t n = 1) noexcept { n_ += n; }
+  void commit(Counter c) noexcept {
+    if (n_ != 0) {
+      count(c, n_);
+      n_ = 0;
+    }
+  }
+
+ private:
+  std::uint64_t n_ = 0;
+#else
+  constexpr void bump(std::uint64_t = 1) noexcept {}
+  constexpr void commit(Counter) noexcept {}
+#endif
+};
+
+}  // namespace msq::obs
+
+/// Site-side sugar: MSQ_COUNT(kCasFail) / MSQ_COUNT_N(kBackoffWait, spins).
+#define MSQ_COUNT(counter) ::msq::obs::count(::msq::obs::Counter::counter)
+#define MSQ_COUNT_N(counter, n) \
+  ::msq::obs::count(::msq::obs::Counter::counter, (n))

@@ -1,0 +1,127 @@
+// Observability layer, part 2: log-bucketed (HDR-style) latency histograms.
+//
+// Per-operation latency distributions, not just means: the paper's
+// multiprogramming story (Figures 4-5) is a *tail* story -- a preempted
+// lock holder turns a handful of operations catastrophically slow while
+// the median stays fine.  A histogram with logarithmic buckets captures
+// that with fixed memory and O(1) record cost.
+//
+// Bucketing: values below 2^kSubBits are exact (one bucket per value);
+// above that, each power-of-two octave is split into 2^kSubBits linear
+// sub-buckets, so relative error is bounded by 2^-kSubBits (~6% at the
+// default 4 sub-bucket bits).  This is the scheme of HdrHistogram, sized
+// here for full uint64 range (cycles or nanoseconds -- the histogram is
+// unit-agnostic; callers pick one and label the report).
+//
+// Thread model: a Histogram is a plain (non-atomic) value type.  Each
+// thread records into its own shard and shards merge() after the run --
+// mergeable per-thread shards instead of shared atomics, because latency
+// recording sits on the measured path itself.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace msq::obs {
+
+class Histogram {
+ public:
+  /// Linear sub-buckets per octave = 2^kSubBits.
+  static constexpr unsigned kSubBits = 4;
+  static constexpr std::uint64_t kSubCount = 1ull << kSubBits;
+  /// Values [0, kSubCount) get exact buckets; each of the remaining
+  /// (64 - kSubBits) octaves contributes kSubCount sub-buckets.
+  static constexpr std::size_t kBucketCount =
+      (64 - kSubBits) * kSubCount + kSubCount;
+
+  /// Bucket holding `v`.  Monotone in v; exact below kSubCount.
+  [[nodiscard]] static constexpr std::size_t bucket_index(
+      std::uint64_t v) noexcept {
+    if (v < kSubCount) return static_cast<std::size_t>(v);
+    const unsigned msb = static_cast<unsigned>(std::bit_width(v)) - 1;
+    const unsigned shift = msb - kSubBits;  // >= 0 here
+    const std::uint64_t top = v >> shift;   // in [kSubCount, 2*kSubCount)
+    return static_cast<std::size_t>((shift + 1) * kSubCount +
+                                    (top - kSubCount));
+  }
+
+  /// Smallest value mapping to bucket `i` (inverse of bucket_index).
+  [[nodiscard]] static constexpr std::uint64_t bucket_floor(
+      std::size_t i) noexcept {
+    if (i < kSubCount) return static_cast<std::uint64_t>(i);
+    const std::uint64_t shift = i / kSubCount - 1;
+    const std::uint64_t top = kSubCount + i % kSubCount;
+    return top << shift;
+  }
+
+  /// Largest value mapping to bucket `i`.
+  [[nodiscard]] static constexpr std::uint64_t bucket_ceil(
+      std::size_t i) noexcept {
+    return i + 1 < kBucketCount ? bucket_floor(i + 1) - 1 : ~0ull;
+  }
+
+  void record(std::uint64_t v) noexcept {
+    ++counts_[bucket_index(v)];
+    ++count_;
+    sum_ += v;
+    max_ = std::max(max_, v);
+    min_ = std::min(min_, v);
+  }
+
+  void merge(const Histogram& other) noexcept {
+    for (std::size_t i = 0; i < kBucketCount; ++i) {
+      counts_[i] += other.counts_[i];
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+    max_ = std::max(max_, other.max_);
+    min_ = std::min(min_, other.min_);
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] std::uint64_t max() const noexcept {
+    return count_ == 0 ? 0 : max_;
+  }
+  [[nodiscard]] std::uint64_t min() const noexcept {
+    return count_ == 0 ? 0 : min_;
+  }
+  [[nodiscard]] double mean() const noexcept {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) /
+                             static_cast<double>(count_);
+  }
+  [[nodiscard]] std::uint64_t bucket_count_at(std::size_t i) const noexcept {
+    return counts_[i];
+  }
+
+  /// Value at quantile `p` in [0, 100]: the upper bound of the bucket
+  /// containing the p-th percentile sample, clamped to the observed max
+  /// (so percentile(100) == max(), and the sub-bucket-exact region reports
+  /// exact values).  0 for an empty histogram.
+  [[nodiscard]] std::uint64_t percentile(double p) const noexcept {
+    if (count_ == 0) return 0;
+    p = std::clamp(p, 0.0, 100.0);
+    const std::uint64_t rank = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(p / 100.0 *
+                                      static_cast<double>(count_) +
+                                      0.5));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kBucketCount; ++i) {
+      seen += counts_[i];
+      if (seen >= rank) return std::min(bucket_ceil(i), max_);
+    }
+    return max_;
+  }
+
+ private:
+  std::array<std::uint64_t, kBucketCount> counts_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t max_ = 0;
+  std::uint64_t min_ = ~0ull;
+};
+
+}  // namespace msq::obs

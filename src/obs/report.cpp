@@ -1,0 +1,196 @@
+#include "obs/report.hpp"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace msq::obs {
+
+// --- JsonWriter -----------------------------------------------------------
+
+void JsonWriter::separate() {
+  if (after_key_) {
+    after_key_ = false;
+    return;  // value completes a "key": pair; no comma
+  }
+  if (!needs_comma_.empty()) {
+    if (needs_comma_.back()) os_ << ',';
+    needs_comma_.back() = true;
+  }
+}
+
+void JsonWriter::write_escaped(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  separate();
+  os_ << '{';
+  needs_comma_.push_back(false);
+  return *this;
+}
+JsonWriter& JsonWriter::end_object() {
+  needs_comma_.pop_back();
+  os_ << '}';
+  return *this;
+}
+JsonWriter& JsonWriter::begin_array() {
+  separate();
+  os_ << '[';
+  needs_comma_.push_back(false);
+  return *this;
+}
+JsonWriter& JsonWriter::end_array() {
+  needs_comma_.pop_back();
+  os_ << ']';
+  return *this;
+}
+JsonWriter& JsonWriter::key(std::string_view k) {
+  separate();
+  write_escaped(os_, k);
+  os_ << ':';
+  after_key_ = true;
+  return *this;
+}
+JsonWriter& JsonWriter::value(std::string_view v) {
+  separate();
+  write_escaped(os_, v);
+  return *this;
+}
+JsonWriter& JsonWriter::value(const char* v) {
+  return value(std::string_view(v));
+}
+JsonWriter& JsonWriter::value(double v) {
+  separate();
+  if (!std::isfinite(v)) {
+    os_ << "null";
+  } else {
+    // ostringstream so the caller's stream flags stay untouched.
+    std::ostringstream tmp;
+    tmp << std::setprecision(12) << v;
+    os_ << tmp.str();
+  }
+  return *this;
+}
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  separate();
+  os_ << v;
+  return *this;
+}
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  separate();
+  os_ << v;
+  return *this;
+}
+JsonWriter& JsonWriter::value(bool v) {
+  separate();
+  os_ << (v ? "true" : "false");
+  return *this;
+}
+
+// --- text reports ---------------------------------------------------------
+
+void print_counters(std::ostream& os, const Snapshot& s, std::uint64_t ops,
+                    std::string_view title) {
+  os << title << (ops != 0 ? "  (per-op over " : "") ;
+  if (ops != 0) os << ops << " ops)";
+  os << '\n';
+  for (const Counter c : kAllCounters) {
+    os << "  " << std::left << std::setw(14) << counter_name(c)
+       << std::right << std::setw(14) << s[c];
+    if (ops != 0) {
+      std::ostringstream rate;
+      rate << std::fixed << std::setprecision(4) << s.per_op(c, ops);
+      os << "   " << std::setw(12) << rate.str() << " /op";
+    }
+    os << '\n';
+  }
+}
+
+void print_histogram(std::ostream& os, const Histogram& h,
+                     std::string_view title, std::string_view unit) {
+  os << title << ": n=" << h.count();
+  if (h.count() == 0) {
+    os << " (empty)\n";
+    return;
+  }
+  os << "  mean=" << std::fixed << std::setprecision(1) << h.mean()
+     << "  p50=" << h.percentile(50) << "  p90=" << h.percentile(90)
+     << "  p99=" << h.percentile(99) << "  max=" << h.max() << "  [" << unit
+     << "]\n";
+  os.unsetf(std::ios_base::floatfield);
+}
+
+void write_counters_json(JsonWriter& w, const Snapshot& s,
+                         std::uint64_t ops) {
+  w.begin_object();
+  for (const Counter c : kAllCounters) {
+    w.key(counter_name(c))
+        .begin_object()
+        .key("total")
+        .value(s[c])
+        .key("per_op")
+        .value(s.per_op(c, ops))
+        .end_object();
+  }
+  w.end_object();
+}
+
+void write_histogram_json(JsonWriter& w, const Histogram& h) {
+  w.begin_object()
+      .key("count")
+      .value(h.count())
+      .key("mean")
+      .value(h.mean())
+      .key("p50")
+      .value(h.percentile(50))
+      .key("p90")
+      .value(h.percentile(90))
+      .key("p99")
+      .value(h.percentile(99))
+      .key("max")
+      .value(h.max())
+      .end_object();
+}
+
+void dump_counters_stderr(const char* why) noexcept {
+  const Snapshot s = snapshot();
+  std::uint64_t total = 0;
+  for (const Counter c : kAllCounters) total += s[c];
+  if (total == 0) {
+    std::fprintf(stderr,
+                 "[obs] %s: all counters zero (probes disabled or never "
+                 "armed)\n",
+                 why);
+    return;
+  }
+  std::fprintf(stderr, "[obs] %s:\n", why);
+  for (const Counter c : kAllCounters) {
+    std::fprintf(stderr, "[obs]   %-14s %" PRIu64 "\n", counter_name(c),
+                 s[c]);
+  }
+  std::fflush(stderr);
+}
+
+}  // namespace msq::obs

@@ -35,10 +35,10 @@
 #include <cstdint>
 #include <optional>
 
-#include "fault/fault_plan.hpp"
 #include "mem/freelist.hpp"
 #include "mem/node_pool.hpp"
 #include "mem/value_cell.hpp"
+#include "obs/probe.hpp"
 #include "port/cpu.hpp"
 #include "queues/queue_concept.hpp"
 #include "sync/backoff.hpp"
@@ -80,8 +80,9 @@ class MellorCrummeyQueue {
     const tagged::TaggedIndex prev =
         tail_.value.exchange(tagged::TaggedIndex(node, 0));
     // modify: link the predecessor.  A stall HERE is the blocking window.
-    fault::point("mc.link");
+    MSQ_PROBE("mc.link");
     pool_[prev.index()].next.store(tagged::TaggedIndex(node, 0));
+    MSQ_COUNT(kEnqueue);
     return true;
   }
 
@@ -95,19 +96,26 @@ class MellorCrummeyQueue {
       if (next.is_null()) {
         const tagged::TaggedIndex tail = tail_.value.load();
         if (tail.index() == head.index() && head == head_.value.load()) {
+          MSQ_COUNT(kDequeueEmpty);
           return false;  // genuinely empty
         }
         // An enqueuer holds the claim on head->next: wait for its link.
+        // The wait iterations are the algorithm's blocking cost; account
+        // them like lock spins (this IS waiting on another thread's CS).
+        MSQ_COUNT(kLockSpin);
         backoff.pause();
         continue;
       }
       // Read value before the CAS (another dequeuer might free `next`).
       const T value = pool_[next.index()].value.load();
+      MSQ_COUNT(kCasAttempt);
       if (head_.value.compare_and_swap(head, head.successor(next.index()))) {
         out = value;
         freelist_.free(head.index());
+        MSQ_COUNT(kDequeue);
         return true;
       }
+      MSQ_COUNT(kCasFail);
       backoff.pause();
     }
   }

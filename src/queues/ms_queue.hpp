@@ -17,10 +17,10 @@
 #include <cstdint>
 #include <optional>
 
-#include "fault/fault_plan.hpp"
 #include "mem/freelist.hpp"
 #include "mem/node_pool.hpp"
 #include "mem/value_cell.hpp"
+#include "obs/probe.hpp"
 #include "port/cpu.hpp"
 #include "queues/queue_concept.hpp"
 #include "sync/backoff.hpp"
@@ -74,17 +74,19 @@ class MsQueue {
       if (tail == tail_.value.load()) {  // E7: are tail and next consistent?
         if (next.is_null()) {            // E8: was Tail pointing to the last node?
           // E9: try to link node at the end of the linked list
-          fault::point("ms.E9");
+          MSQ_PROBE_COUNT("ms.E9", kCasAttempt);
           if (pool_[tail.index()].next.compare_and_swap(
                   next, next.successor(node))) {
             // E10: break -- enqueue is done.
             // E13: try to swing Tail to the inserted node.  A thread halted
             // HERE has committed the enqueue but left Tail lagging -- the
             // window the helping paths (E12/D9) exist for.
-            fault::point("ms.E13");
+            MSQ_PROBE("ms.E13");
             tail_.value.compare_and_swap(tail, tail.successor(node));
+            MSQ_COUNT(kEnqueue);
             return true;
           }
+          MSQ_COUNT(kCasFail);
           backoff.pause();
         } else {
           // E12: Tail was not pointing to the last node; try to swing it
@@ -104,6 +106,7 @@ class MsQueue {
       if (head == head_.value.load()) {      // D5: consistent?
         if (head.index() == tail.index()) {  // D6: empty or Tail falling behind?
           if (next.is_null()) {              // D7: is queue empty?
+            MSQ_COUNT(kDequeueEmpty);
             return false;                    // D8
           }
           // D9: Tail is falling behind; try to advance it
@@ -113,12 +116,14 @@ class MsQueue {
           // free the next node
           const T value = pool_[next.index()].value.load();
           // D12: try to swing Head to the next node
-          fault::point("ms.D12");
+          MSQ_PROBE_COUNT("ms.D12", kCasAttempt);
           if (head_.value.compare_and_swap(head, head.successor(next.index()))) {
             out = value;                     // (D11's *pvalue assignment)
             freelist_.free(head.index());    // D14: free the old dummy node
+            MSQ_COUNT(kDequeue);
             return true;                     // D13 break; D15 return TRUE
           }
+          MSQ_COUNT(kCasFail);
           backoff.pause();
         }
       }

@@ -14,8 +14,8 @@
 #include <memory>
 #include <optional>
 
-#include "fault/fault_plan.hpp"
 #include "mem/value_cell.hpp"
+#include "obs/probe.hpp"
 #include "port/cpu.hpp"
 #include "queues/queue_concept.hpp"
 #include "sync/backoff.hpp"
@@ -59,12 +59,14 @@ class MsQueueDw {
       const tagged::CountedPtr<Node> next = tail.ptr->next.load();  // E6
       if (tail == tail_.value.load()) {                     // E7
         if (next.ptr == nullptr) {                          // E8
-          fault::point("msdw.E9");
+          MSQ_PROBE_COUNT("msdw.E9", kCasAttempt);
           if (tail.ptr->next.compare_and_swap(next, next.successor(node))) {  // E9
-            fault::point("msdw.E13");  // linked, Tail still lagging
+            MSQ_PROBE("msdw.E13");  // linked, Tail still lagging
             tail_.value.compare_and_swap(tail, tail.successor(node));  // E13
+            MSQ_COUNT(kEnqueue);
             return true;  // E10
           }
+          MSQ_COUNT(kCasFail);
           backoff.pause();
         } else {
           tail_.value.compare_and_swap(tail, tail.successor(next.ptr));  // E12
@@ -81,16 +83,21 @@ class MsQueueDw {
       const tagged::CountedPtr<Node> next = head.ptr->next.load();  // D4
       if (head == head_.value.load()) {  // D5
         if (head.ptr == tail.ptr) {      // D6
-          if (next.ptr == nullptr) return false;  // D7-D8
+          if (next.ptr == nullptr) {  // D7-D8
+            MSQ_COUNT(kDequeueEmpty);
+            return false;
+          }
           tail_.value.compare_and_swap(tail, tail.successor(next.ptr));  // D9
         } else {
           const T value = next.ptr->value.load();  // D11
-          fault::point("msdw.D12");
+          MSQ_PROBE_COUNT("msdw.D12", kCasAttempt);
           if (head_.value.compare_and_swap(head, head.successor(next.ptr))) {  // D12
             out = value;
             push_free(head.ptr);  // D14
+            MSQ_COUNT(kDequeue);
             return true;          // D15
           }
+          MSQ_COUNT(kCasFail);
           backoff.pause();
         }
       }

@@ -19,6 +19,7 @@
 #include <optional>
 
 #include "mem/hazard.hpp"
+#include "obs/counters.hpp"
 #include "port/cpu.hpp"
 #include "queues/queue_concept.hpp"
 #include "sync/backoff.hpp"
@@ -67,6 +68,7 @@ class MsQueueHp {
       if (tail != tail_.value.load(std::memory_order_acquire)) continue;  // E7
       if (next == nullptr) {  // E8
         Node* expected = nullptr;
+        MSQ_COUNT(kCasAttempt);
         if (tail->next.compare_exchange_strong(expected, node,
                                                std::memory_order_release,
                                                std::memory_order_relaxed)) {  // E9
@@ -75,8 +77,10 @@ class MsQueueHp {
                                               std::memory_order_release,
                                               std::memory_order_relaxed);  // E13
           domain_.clear_hazard(0);
+          MSQ_COUNT(kEnqueue);
           return true;
         }
+        MSQ_COUNT(kCasFail);
         backoff.pause();
       } else {
         Node* t = tail;
@@ -96,6 +100,7 @@ class MsQueueHp {
       if (head == tail) {                                      // D6
         if (next == nullptr) {                                 // D7
           clear_hazards();
+          MSQ_COUNT(kDequeueEmpty);
           return false;                                        // D8
         }
         Node* t = tail;
@@ -106,14 +111,17 @@ class MsQueueHp {
         // same node, which their hazards keep alive.
         const T value = next->value;
         Node* h = head;
+        MSQ_COUNT(kCasAttempt);
         if (head_.value.compare_exchange_strong(h, next,
                                                 std::memory_order_release,
                                                 std::memory_order_relaxed)) {  // D12
           out = value;
           clear_hazards();
           domain_.retire(head);  // D14: deferred free replaces the free list
+          MSQ_COUNT(kDequeue);
           return true;
         }
+        MSQ_COUNT(kCasFail);
         backoff.pause();
       }
     }

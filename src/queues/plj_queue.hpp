@@ -26,6 +26,7 @@
 #include "mem/freelist.hpp"
 #include "mem/node_pool.hpp"
 #include "mem/value_cell.hpp"
+#include "obs/counters.hpp"
 #include "port/cpu.hpp"
 #include "queues/queue_concept.hpp"
 #include "sync/backoff.hpp"
@@ -72,11 +73,14 @@ class PljQueue {
             snap.tail, snap.tail.successor(snap.tail_next.index()));
         continue;
       }
+      MSQ_COUNT(kCasAttempt);
       if (pool_[snap.tail.index()].next.compare_and_swap(
               snap.tail_next, snap.tail_next.successor(node))) {
         tail_.value.compare_and_swap(snap.tail, snap.tail.successor(node));
+        MSQ_COUNT(kEnqueue);
         return true;
       }
+      MSQ_COUNT(kCasFail);
       backoff.pause();
     }
   }
@@ -88,7 +92,10 @@ class PljQueue {
       const tagged::TaggedIndex first = pool_[snap.head.index()].next.load();
       if (snap.head != head_.value.load()) continue;  // snapshot went stale
       if (snap.head.index() == snap.tail.index()) {
-        if (first.is_null()) return false;  // state: empty
+        if (first.is_null()) {
+          MSQ_COUNT(kDequeueEmpty);
+          return false;  // state: empty
+        }
         // State: tail lagging on a non-empty queue; help before touching
         // Head, so Tail can never point at a dequeued node.
         tail_.value.compare_and_swap(snap.tail,
@@ -98,12 +105,15 @@ class PljQueue {
       if (first.is_null()) continue;  // stale triple; cannot happen if the
                                       // snapshot invariants hold, but cheap
       const T value = pool_[first.index()].value.load();
+      MSQ_COUNT(kCasAttempt);
       if (head_.value.compare_and_swap(snap.head,
                                        snap.head.successor(first.index()))) {
         out = value;
         freelist_.free(snap.head.index());
+        MSQ_COUNT(kDequeue);
         return true;
       }
+      MSQ_COUNT(kCasFail);
       backoff.pause();
     }
   }

@@ -13,8 +13,8 @@
 #include <optional>
 #include <utility>
 
-#include "fault/fault_plan.hpp"
 #include "mem/node_pool.hpp"
+#include "obs/probe.hpp"
 #include "port/cpu.hpp"
 #include "queues/queue_concept.hpp"
 #include "sync/tatas_lock.hpp"
@@ -49,25 +49,30 @@ class SingleLockQueue {
 
   bool try_enqueue(T value) {
     std::scoped_lock guard(lock_.value);
-    fault::point("singlelock.held");  // halted here: the whole queue wedges
+    MSQ_PROBE("singlelock.held");  // halted here: the whole queue wedges
     const std::uint32_t node = allocate();
     if (node == tagged::kNullIndex) return false;
     pool_[node].value = std::move(value);
     pool_[node].next = tagged::kNullIndex;
     pool_[tail_].next = node;
     tail_ = node;
+    MSQ_COUNT(kEnqueue);
     return true;
   }
 
   bool try_dequeue(T& out) {
     std::scoped_lock guard(lock_.value);
-    fault::point("singlelock.held");
+    MSQ_PROBE("singlelock.held");
     const std::uint32_t dummy = head_;
     const std::uint32_t first = pool_[dummy].next;
-    if (first == tagged::kNullIndex) return false;
+    if (first == tagged::kNullIndex) {
+      MSQ_COUNT(kDequeueEmpty);
+      return false;
+    }
     out = std::move(pool_[first].value);
     head_ = first;
     release(dummy);
+    MSQ_COUNT(kDequeue);
     return true;
   }
 
@@ -84,9 +89,13 @@ class SingleLockQueue {
   };
 
   std::uint32_t allocate() noexcept {
-    if (free_top_ == tagged::kNullIndex) return tagged::kNullIndex;
+    if (free_top_ == tagged::kNullIndex) {
+      MSQ_COUNT(kPoolRefuse);
+      return tagged::kNullIndex;
+    }
     const std::uint32_t node = free_top_;
     free_top_ = pool_[node].next;
+    MSQ_COUNT(kPoolGet);
     return node;
   }
   void release(std::uint32_t node) noexcept {

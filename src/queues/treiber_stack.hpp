@@ -11,9 +11,9 @@
 #include <cstdint>
 #include <optional>
 
-#include "fault/fault_plan.hpp"
 #include "mem/node_pool.hpp"
 #include "mem/value_cell.hpp"
+#include "obs/probe.hpp"
 #include "port/cpu.hpp"
 #include "queues/queue_concept.hpp"
 #include "sync/backoff.hpp"
@@ -50,8 +50,12 @@ class TreiberStack {
     for (;;) {
       const tagged::TaggedIndex top = top_.value.load();
       pool_[node].next.store(tagged::TaggedIndex(top.index(), 0));
-      fault::point("treiber.push_cas");
-      if (top_.value.compare_and_swap(top, top.successor(node))) return true;
+      MSQ_PROBE_COUNT("treiber.push_cas", kCasAttempt);
+      if (top_.value.compare_and_swap(top, top.successor(node))) {
+        MSQ_COUNT(kEnqueue);
+        return true;
+      }
+      MSQ_COUNT(kCasFail);
       backoff.pause();
     }
   }
@@ -61,15 +65,20 @@ class TreiberStack {
     BackoffPolicy backoff;
     for (;;) {
       const tagged::TaggedIndex top = top_.value.load();
-      if (top.is_null()) return false;
+      if (top.is_null()) {
+        MSQ_COUNT(kDequeueEmpty);
+        return false;
+      }
       const tagged::TaggedIndex next = pool_[top.index()].next.load();
       const T value = pool_[top.index()].value.load();  // before CAS, as in D11
-      fault::point("treiber.pop_cas");
+      MSQ_PROBE_COUNT("treiber.pop_cas", kCasAttempt);
       if (top_.value.compare_and_swap(top, top.successor(next.index()))) {
         out = value;
         free_push(top.index());
+        MSQ_COUNT(kDequeue);
         return true;
       }
+      MSQ_COUNT(kCasFail);
       backoff.pause();
     }
   }
@@ -96,9 +105,13 @@ class TreiberStack {
   std::uint32_t free_pop() noexcept {
     for (;;) {
       const tagged::TaggedIndex top = free_top_.value.load();
-      if (top.is_null()) return tagged::kNullIndex;
+      if (top.is_null()) {
+        MSQ_COUNT(kPoolRefuse);
+        return tagged::kNullIndex;
+      }
       const tagged::TaggedIndex next = pool_[top.index()].next.load();
       if (free_top_.value.compare_and_swap(top, top.successor(next.index()))) {
+        MSQ_COUNT(kPoolGet);
         return top.index();
       }
     }

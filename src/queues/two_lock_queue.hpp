@@ -20,9 +20,9 @@
 #include <optional>
 #include <utility>
 
-#include "fault/fault_plan.hpp"
 #include "mem/freelist.hpp"
 #include "mem/node_pool.hpp"
+#include "obs/probe.hpp"
 #include "port/cpu.hpp"
 #include "queues/queue_concept.hpp"
 #include "sync/tatas_lock.hpp"
@@ -66,11 +66,12 @@ class TwoLockQueue {
 
     {
       std::scoped_lock guard(tail_lock_.value);       // lock(&Q->T_lock)
-      fault::point("twolock.T_held");  // a thread halted here wedges enqueuers
+      MSQ_PROBE("twolock.T_held");  // a thread halted here wedges enqueuers
       pool_[tail_.value].next.store(                  // Q->Tail->next = node
           tagged::TaggedIndex(node, 0));
       tail_.value = node;                             // Q->Tail = node
     }                                                 // unlock(&Q->T_lock)
+    MSQ_COUNT(kEnqueue);
     return true;
   }
 
@@ -78,17 +79,19 @@ class TwoLockQueue {
     std::uint32_t old_dummy;
     {
       std::scoped_lock guard(head_lock_.value);       // lock(&Q->H_lock)
-      fault::point("twolock.H_held");  // a thread halted here wedges dequeuers
+      MSQ_PROBE("twolock.H_held");  // a thread halted here wedges dequeuers
       old_dummy = head_.value;                        // node = Q->Head
       const tagged::TaggedIndex new_head =
           pool_[old_dummy].next.load();               // new_head = node->next
       if (new_head.is_null()) {                       // is queue empty?
+        MSQ_COUNT(kDequeueEmpty);
         return false;                                 // unlock via RAII
       }
       out = std::move(pool_[new_head.index()].value); // *pvalue = new_head->value
       head_.value = new_head.index();                 // Q->Head = new_head
     }                                                 // unlock(&Q->H_lock)
     freelist_.free(old_dummy);                        // free(node)
+    MSQ_COUNT(kDequeue);
     return true;
   }
 

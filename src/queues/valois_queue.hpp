@@ -26,9 +26,9 @@
 #include <cstdint>
 #include <optional>
 
-#include "fault/fault_plan.hpp"
 #include "mem/refcount_pool.hpp"
 #include "mem/value_cell.hpp"
+#include "obs/probe.hpp"
 #include "port/cpu.hpp"
 #include "queues/queue_concept.hpp"
 #include "sync/backoff.hpp"
@@ -84,13 +84,16 @@ class ValoisQueue {
       const tagged::TaggedIndex tail = pool_.safe_read(tail_.value);
       const tagged::TaggedIndex next = pool_.node(tail.index()).rc.next.load();
       if (next.is_null()) {
+        MSQ_COUNT(kCasAttempt);
         if (rc_cas(pool_.node(tail.index()).rc.next, next, node)) {
           // Linked.  Single attempt to swing Tail (may fail: Tail lags).
-          fault::point("valois.link");
+          MSQ_PROBE("valois.link");
           rc_cas(tail_.value, tail, node);
           pool_.release(tail.index());  // SafeRead reference
+          MSQ_COUNT(kEnqueue);
           break;
         }
+        MSQ_COUNT(kCasFail);
         backoff.pause();
       } else {
         // Tail is lagging; help it forward one node.  `next` cannot be
@@ -111,16 +114,20 @@ class ValoisQueue {
           pool_.safe_read(pool_.node(head.index()).rc.next);
       if (first.is_null()) {
         pool_.release(head.index());
+        MSQ_COUNT(kDequeueEmpty);
         return false;  // empty
       }
+      MSQ_COUNT(kCasAttempt);
       if (rc_cas(head_.value, head, first.index())) {
         // We hold a SafeRead reference on `first`, so its value is stable
         // even though it is now the dummy and other dequeues proceed.
         out = pool_.node(first.index()).value.load();
         pool_.release(head.index());   // SafeRead ref; may trigger reclaim
         pool_.release(first.index());  // SafeRead ref
+        MSQ_COUNT(kDequeue);
         return true;
       }
+      MSQ_COUNT(kCasFail);
       pool_.release(head.index());
       pool_.release(first.index());
       backoff.pause();

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <string_view>
 
+#include "obs/counters.hpp"
+
 namespace msq::sim {
 
 void Proc::OpAwaiter::await_suspend(std::coroutine_handle<> h) noexcept {
@@ -51,7 +53,14 @@ std::uint64_t Engine::execute(std::uint32_t id, const PendingOp& op) {
       cost = cost_model_.on_write(processor, op.addr, /*rmw=*/true);
       std::uint64_t& w = memory_.word(op.addr);
       result = w;  // old value; success iff old == expected
-      if (w == op.operand_a) w = op.operand_b;
+      // Every simulated CAS funnels through here, so this one site gives
+      // deterministic attempt/failure counts for the whole sim sweep.
+      MSQ_COUNT(kCasAttempt);
+      if (w == op.operand_a) {
+        w = op.operand_b;
+      } else {
+        MSQ_COUNT(kCasFail);
+      }
       break;
     }
     case OpKind::kFaa: {

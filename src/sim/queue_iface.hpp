@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "obs/counters.hpp"
 #include "sim/engine.hpp"
 #include "sim/task.hpp"
 
@@ -36,7 +37,9 @@ class SimBackoff {
   [[nodiscard]] double next() noexcept {
     const double w = window_;
     if (window_ < max_) window_ *= 2;
-    return (max_ <= 0) ? 1 : w;
+    if (max_ <= 0) return 1;  // backoff disabled: minimal retry cost, no wait
+    MSQ_COUNT_N(kBackoffWait, static_cast<std::uint64_t>(w));
+    return w;
   }
 
  private:

@@ -2,6 +2,7 @@
 // the lock of the paper's evaluation, as a coroutine over one sim word.
 #pragma once
 
+#include "obs/counters.hpp"
 #include "sim/engine.hpp"
 #include "sim/queue_iface.hpp"
 #include "sim/task.hpp"
@@ -20,10 +21,15 @@ class SimTatasLock {
       for (;;) {
         const std::uint64_t seen = co_await p.read(word_);
         if (seen == 0) break;
+        MSQ_COUNT(kLockSpin);
         co_await p.work(backoff.next());
       }
       const std::uint64_t old = co_await p.cas(word_, 0, 1);
-      if (old == 0) co_return;
+      if (old == 0) {
+        MSQ_COUNT(kLockAcquire);
+        co_return;
+      }
+      MSQ_COUNT(kLockSpin);
       co_await p.work(backoff.next());  // lost the race to another RMW
     }
   }

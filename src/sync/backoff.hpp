@@ -13,6 +13,7 @@
 
 #include <cstdint>
 
+#include "obs/counters.hpp"
 #include "port/cpu.hpp"
 #include "port/prng.hpp"
 
@@ -37,6 +38,10 @@ class Backoff {
   void pause() noexcept {
     const std::uint64_t spins = 1 + rng_.below(window_);
     for (std::uint64_t i = 0; i < spins; ++i) port::cpu_relax();
+    // One bump per episode, after the wait: the probe never sits inside
+    // the spin loop itself (obs probe-naming convention: backoff_wait
+    // counts cpu_relax() spins spent backing off, across all callers).
+    MSQ_COUNT_N(kBackoffWait, spins);
     if (window_ < params_.max_spins) window_ *= 2;
   }
 

@@ -15,6 +15,7 @@
 #include <atomic>
 #include <thread>
 
+#include "obs/counters.hpp"
 #include "port/cpu.hpp"
 
 namespace msq::sync {
@@ -41,14 +42,18 @@ class McsLock {
       // yielding after a short local spin (the paper's multiprogramming
       // pathology, mitigated).
       int spins = 0;
+      obs::SpinTally tally;
       while (node.locked.load(std::memory_order_acquire)) {
+        tally.bump();
         if (++spins < 1024) {
           port::cpu_relax();
         } else {
           std::this_thread::yield();
         }
       }
+      tally.commit(obs::Counter::kLockSpin);
     }
+    MSQ_COUNT(kLockAcquire);
   }
 
   bool try_lock(QNode& node) noexcept {

@@ -21,9 +21,13 @@ class TasLock {
 
   void lock() noexcept {
     Backoff backoff;
+    obs::SpinTally spins;
     while (flag_.test_and_set(std::memory_order_acquire)) {
+      spins.bump();  // every failed attempt is a (write-generating) spin
       backoff.pause();
     }
+    spins.commit(obs::Counter::kLockSpin);
+    MSQ_COUNT(kLockAcquire);
   }
 
   bool try_lock() noexcept {

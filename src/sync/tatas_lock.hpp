@@ -21,14 +21,21 @@ class BasicTatasLock {
 
   void lock() noexcept {
     BackoffPolicy backoff;
+    obs::SpinTally spins;  // tallied in a register, published once on exit
     for (;;) {
       // Local spin: read-only, stays in this processor's cache until the
       // holder's release invalidates the line.
       while (locked_.load(std::memory_order_relaxed)) {
+        spins.bump();
         port::cpu_relax();
       }
-      if (!locked_.exchange(true, std::memory_order_acquire)) return;
-      backoff.pause();  // RMW lost a race: somebody grabbed it first
+      if (!locked_.exchange(true, std::memory_order_acquire)) {
+        spins.commit(obs::Counter::kLockSpin);
+        MSQ_COUNT(kLockAcquire);
+        return;
+      }
+      spins.bump();     // the RMW itself lost a race: that is a spin too
+      backoff.pause();  // somebody grabbed it first
     }
   }
 

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <thread>
 
+#include "obs/counters.hpp"
 #include "port/cpu.hpp"
 
 namespace msq::sync {
@@ -24,7 +25,9 @@ class TicketLock {
   void lock() noexcept {
     const std::uint32_t my = next_.fetch_add(1, std::memory_order_relaxed);
     std::uint32_t rounds = 0;
+    obs::SpinTally spins;
     while (serving_.load(std::memory_order_acquire) != my) {
+      spins.bump();
       // Proportional backoff: spin roughly in proportion to queue distance;
       // like the MCS lock, hand-off is to a SPECIFIC waiter, so yield once
       // the wait outlives a short spin (oversubscribed hosts).
@@ -35,6 +38,8 @@ class TicketLock {
       }
       for (std::uint32_t i = 0; i < ahead * 8 + 1; ++i) port::cpu_relax();
     }
+    spins.commit(obs::Counter::kLockSpin);
+    MSQ_COUNT(kLockAcquire);
   }
 
   bool try_lock() noexcept {

@@ -90,10 +90,35 @@ TEST(Stats, SummarizesKnownSamples) {
 }
 
 TEST(Stats, HandlesDegenerateInputs) {
-  EXPECT_EQ(summarize({}).n, 0u);
+  const Summary empty = summarize({});
+  EXPECT_EQ(empty.n, 0u);
+  EXPECT_DOUBLE_EQ(empty.mean, 0.0);
+  EXPECT_DOUBLE_EQ(empty.median, 0.0);
+  EXPECT_DOUBLE_EQ(empty.min, 0.0);
+  EXPECT_DOUBLE_EQ(empty.max, 0.0);
+  EXPECT_DOUBLE_EQ(empty.stddev, 0.0);
+
   const Summary one = summarize({7.0});
+  EXPECT_EQ(one.n, 1u);
   EXPECT_DOUBLE_EQ(one.mean, 7.0);
+  EXPECT_DOUBLE_EQ(one.median, 7.0);
+  EXPECT_DOUBLE_EQ(one.min, 7.0);
+  EXPECT_DOUBLE_EQ(one.max, 7.0);
   EXPECT_DOUBLE_EQ(one.stddev, 0.0);
+}
+
+TEST(Stats, EvenSampleCountMedianAveragesTheMiddlePair) {
+  // With an even n, taking either middle sample alone would bias the
+  // median; the interpolated value is the standard definition.
+  const Summary four = summarize({1.0, 2.0, 10.0, 100.0});
+  EXPECT_DOUBLE_EQ(four.median, 6.0);
+
+  const Summary two = summarize({3.0, 5.0});
+  EXPECT_DOUBLE_EQ(two.median, 4.0);
+
+  // Order of the input must not matter.
+  const Summary shuffled = summarize({100.0, 1.0, 10.0, 2.0});
+  EXPECT_DOUBLE_EQ(shuffled.median, 6.0);
 }
 
 TEST(SeriesTable, RendersAlignedTableAndCsv) {

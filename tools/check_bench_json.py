@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Validate BENCH_*.json files produced by the figure benches (--json).
+
+Schema "msq-bench-v1" (bench/fig_common.cpp:write_json):
+
+    {
+      "schema": "msq-bench-v1",
+      "title": str, "pairs": int, "max_procs": int,
+      "procs_per_processor": int, "seed": int, "backoff_max": num,
+      "probes_enabled": bool,
+      "series": [
+        {"algo": str, "source": "sim"|"real",
+         "points": [
+           {"procs": int, "net_seconds_per_million_pairs": num,
+            "throughput_pairs_per_sec": num, "ops": int,
+            "empty_dequeues": int, "enqueue_failures": int,
+            "counters": {<name>: {"total": int, "per_op": num}, ...}}]}]
+    }
+
+Checks structure, types, finiteness, per-point counter completeness, and
+that each series sweeps procs 1..max_procs in increasing order.  Exits
+non-zero with a per-file error listing on any violation (CI smoke-bench).
+
+Usage: tools/check_bench_json.py BENCH_fig3.json [more.json ...]
+"""
+
+import json
+import math
+import sys
+
+COUNTER_NAMES = [
+    "enqueue", "dequeue", "dequeue_empty", "cas_attempt", "cas_fail",
+    "backoff_wait", "lock_acquire", "lock_spin", "pool_get", "pool_refuse",
+]
+
+TOP_KEYS = {
+    "schema": str, "title": str, "pairs": int, "max_procs": int,
+    "procs_per_processor": int, "seed": int, "backoff_max": (int, float),
+    "probes_enabled": bool, "series": list,
+}
+
+POINT_KEYS = {
+    "procs": int,
+    "net_seconds_per_million_pairs": (int, float),
+    "throughput_pairs_per_sec": (int, float),
+    "ops": int,
+    "empty_dequeues": int,
+    "enqueue_failures": int,
+    "counters": dict,
+}
+
+
+def finite(x):
+    return not (isinstance(x, float) and not math.isfinite(x))
+
+
+def check_file(path):
+    errors = []
+
+    def err(msg):
+        errors.append(f"{path}: {msg}")
+
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"{path}: unreadable or invalid JSON: {e}"]
+
+    for key, type_ in TOP_KEYS.items():
+        if key not in doc:
+            err(f"missing top-level key {key!r}")
+        elif not isinstance(doc[key], type_) or isinstance(doc[key], bool) != (type_ is bool):
+            err(f"top-level {key!r} has type {type(doc[key]).__name__}")
+    if errors:
+        return errors
+
+    if doc["schema"] != "msq-bench-v1":
+        err(f"unknown schema {doc['schema']!r}")
+    if not doc["series"]:
+        err("empty series list")
+
+    for s_idx, series in enumerate(doc["series"]):
+        where = f"series[{s_idx}]"
+        if not isinstance(series, dict):
+            err(f"{where} is not an object")
+            continue
+        algo = series.get("algo")
+        if not isinstance(algo, str) or not algo:
+            err(f"{where} missing algo name")
+        else:
+            where = f"series[{s_idx}] ({algo}/{series.get('source')})"
+        if series.get("source") not in ("sim", "real"):
+            err(f"{where} source must be 'sim' or 'real'")
+        points = series.get("points")
+        if not isinstance(points, list) or not points:
+            err(f"{where} has no points")
+            continue
+        if len(points) != doc["max_procs"]:
+            err(f"{where} has {len(points)} points, expected max_procs="
+                f"{doc['max_procs']}")
+
+        prev_procs = 0
+        for p_idx, point in enumerate(points):
+            pwhere = f"{where} point[{p_idx}]"
+            if not isinstance(point, dict):
+                err(f"{pwhere} is not an object")
+                continue
+            for key, type_ in POINT_KEYS.items():
+                if key not in point:
+                    err(f"{pwhere} missing {key!r}")
+                elif not isinstance(point[key], type_) or isinstance(point[key], bool):
+                    err(f"{pwhere} {key!r} has type {type(point[key]).__name__}")
+                elif not finite(point[key]) and key != "counters":
+                    err(f"{pwhere} {key!r} is not finite")
+            procs = point.get("procs")
+            if isinstance(procs, int):
+                if procs <= prev_procs:
+                    err(f"{pwhere} procs {procs} not increasing")
+                prev_procs = procs
+            counters = point.get("counters")
+            if isinstance(counters, dict):
+                for name in COUNTER_NAMES:
+                    entry = counters.get(name)
+                    if not isinstance(entry, dict):
+                        err(f"{pwhere} counters missing {name!r}")
+                        continue
+                    if not isinstance(entry.get("total"), int):
+                        err(f"{pwhere} counters[{name!r}].total not an int")
+                    per_op = entry.get("per_op")
+                    if not isinstance(per_op, (int, float)) or not finite(per_op):
+                        err(f"{pwhere} counters[{name!r}].per_op not finite")
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    all_errors = []
+    for path in argv[1:]:
+        all_errors += check_file(path)
+    for e in all_errors:
+        print(f"error: {e}", file=sys.stderr)
+    if not all_errors:
+        print(f"ok: {len(argv) - 1} file(s) conform to msq-bench-v1")
+    return 1 if all_errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
