@@ -40,7 +40,7 @@ RunStats run_valois(std::uint64_t target_pairs, std::uint32_t pool_nodes,
     if (!with_delayed_reader) return;
     // The delayed process: grab a reference, sleep through "an arbitrary
     // number" of other processes' operations, release, repeat.
-    while (!stop.load()) {
+    while (!stop.load(std::memory_order_acquire)) {
       const std::uint32_t pinned = queue.pool().safe_read(queue.head_cell()).index();
       // 100ms is ~one scheduling-quantum-scale delay: long enough for the
       // churning threads to request far more nodes than the pool holds.
@@ -64,7 +64,7 @@ RunStats run_valois(std::uint64_t target_pairs, std::uint32_t pool_nodes,
       stats.min_free = std::min(stats.min_free, queue.unsafe_free_nodes());
     }
   }
-  stop.store(true);
+  stop.store(true, std::memory_order_release);
   return stats;
 }
 

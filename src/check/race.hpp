@@ -1,0 +1,245 @@
+// Vector-clock happens-before race detection for the simulator.
+//
+// The paper's pseudo-code assumes sequential consistency, and the sim
+// engine provides exactly that: one step = one access, applied atomically.
+// But *which* accesses carry synchronization is a property of the
+// implementation being modelled, not of the simulator -- a C++ port of the
+// same pseudo-code is only correct if the happens-before edges its atomics
+// declare actually cover every conflicting access pair.  HbTracker makes
+// that auditable inside the sim: every access is stamped with the issuing
+// process's vector clock, and a configurable SyncModel decides which
+// operations act as release/acquire fences.
+//
+// Detection is FastTrack-flavoured but with full vector clocks (process
+// counts here are tiny): per-addr state holds the last-write epoch and the
+// reads-since-last-write, a write checks against both, a read checks
+// against the last write, and reads are cleared when a write is ordered
+// after them.  Each report names the labelled pseudo-code line (Proc::at /
+// annotate) of BOTH conflicting accesses, so a race reads like the paper's
+// own race catalogue: "E9 write vs D2 read".
+//
+// This header is engine-agnostic on purpose (plain integers in, reports
+// out): the engine feeds it from execute(), tests can feed it synthetic
+// traces, and the DPOR explorer keeps its own independent trace analysis.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/counters.hpp"
+
+namespace msq::check {
+
+/// Which simulated operations carry synchronization (happens-before edges).
+enum class SyncModel : std::uint8_t {
+  kNone,  // no edges at all: the "naive port" that flags every conflict
+  kRmw,   // CAS/FAA/Swap act release-acquire; plain loads/stores are relaxed
+  kFull,  // every access acquires and releases its address: zero races by
+          // construction (models an all-seq_cst implementation)
+};
+
+[[nodiscard]] constexpr const char* sync_model_name(SyncModel m) noexcept {
+  switch (m) {
+    case SyncModel::kNone: return "none";
+    case SyncModel::kRmw:  return "rmw";
+    case SyncModel::kFull: return "full";
+  }
+  return "?";
+}
+
+/// One conflicting, happens-before-unordered access pair.  `first` is the
+/// earlier access (by engine step), `second` the one that detected it.
+struct RaceReport {
+  std::uint32_t addr = 0;
+  std::uint32_t first_proc = 0;
+  const char* first_label = "";
+  bool first_is_write = false;
+  std::uint64_t first_step = 0;
+  std::uint32_t second_proc = 0;
+  const char* second_label = "";
+  bool second_is_write = false;
+  std::uint64_t second_step = 0;
+
+  [[nodiscard]] std::string format() const {
+    std::string s = "data race on addr ";
+    s += std::to_string(addr);
+    s += ": P" + std::to_string(first_proc);
+    s += first_is_write ? " write" : " read";
+    s += " at [";
+    s += (first_label != nullptr && first_label[0] != '\0') ? first_label
+                                                           : "<unlabelled>";
+    s += "] (step " + std::to_string(first_step) + ") vs P";
+    s += std::to_string(second_proc);
+    s += second_is_write ? " write" : " read";
+    s += " at [";
+    s += (second_label != nullptr && second_label[0] != '\0') ? second_label
+                                                              : "<unlabelled>";
+    s += "] (step " + std::to_string(second_step) + ")";
+    return s;
+  }
+};
+
+/// Collected race reports, deduplicated by (addr, label pair, kinds) so a
+/// racy retry loop produces one report per distinct pseudo-code line pair
+/// rather than one per iteration.
+class RaceLog {
+ public:
+  explicit RaceLog(std::size_t capacity = 64) : capacity_(capacity) {}
+
+  void report(const RaceReport& r) {
+    ++observed_;
+    MSQ_COUNT(kRaceReport);
+    for (const RaceReport& seen : reports_) {
+      if (seen.addr == r.addr && same_site(seen, r)) return;
+    }
+    if (reports_.size() < capacity_) reports_.push_back(r);
+  }
+
+  [[nodiscard]] const std::vector<RaceReport>& reports() const noexcept {
+    return reports_;
+  }
+  /// Total race observations, including deduplicated repeats.
+  [[nodiscard]] std::uint64_t observed() const noexcept { return observed_; }
+  [[nodiscard]] bool empty() const noexcept { return reports_.empty(); }
+  void clear() noexcept {
+    reports_.clear();
+    observed_ = 0;
+  }
+
+ private:
+  static bool same_site(const RaceReport& a, const RaceReport& b) noexcept {
+    const auto eq = [](const char* x, const char* y) {
+      return std::string_view(x == nullptr ? "" : x) ==
+             std::string_view(y == nullptr ? "" : y);
+    };
+    return eq(a.first_label, b.first_label) &&
+           eq(a.second_label, b.second_label) &&
+           a.first_is_write == b.first_is_write &&
+           a.second_is_write == b.second_is_write;
+  }
+
+  std::size_t capacity_;
+  std::vector<RaceReport> reports_;
+  std::uint64_t observed_ = 0;
+};
+
+/// The happens-before tracker.  The engine (or a test) calls on_access()
+/// for every shared-memory access, in execution order; races land in the
+/// RaceLog passed by reference.
+class HbTracker {
+ public:
+  explicit HbTracker(SyncModel model, RaceLog& log)
+      : model_(model), log_(&log) {}
+
+  /// One access: process `proc` at labelled line `label` touches `addr` on
+  /// engine step `step`.  `is_write` is whether the access mutated the word
+  /// (a failed CAS is a read); `is_rmw` is whether the operation was
+  /// CAS/FAA/Swap (synchronizing under SyncModel::kRmw even when it fails,
+  /// matching C++ where a failed compare_exchange still loads with its
+  /// failure order).
+  void on_access(std::uint32_t proc, const char* label, std::uint32_t addr,
+                 bool is_write, bool is_rmw, std::uint64_t step) {
+    grow(proc);
+    AddrState& a = addrs_[addr];
+    Clock& c = clocks_[proc];
+
+    const bool sync = model_ == SyncModel::kFull ||
+                      (model_ == SyncModel::kRmw && is_rmw);
+    if (sync) join(c, a.sync);  // acquire: see everything released here
+
+    // Detect before recording: is this access ordered after the last
+    // write, and (for writes) after every read since that write?
+    if (a.has_write && a.w_proc != proc && a.w_clock > at(c, a.w_proc)) {
+      log_->report({addr, a.w_proc, a.w_label, true, a.w_step, proc, label,
+                    is_write, step});
+    }
+    if (is_write) {
+      for (const ReadEntry& r : a.reads) {
+        if (r.proc != proc && r.clock > at(c, r.proc)) {
+          log_->report({addr, r.proc, r.label, false, r.step, proc, label,
+                        true, step});
+        }
+      }
+    }
+
+    const std::uint64_t now = c[proc];
+    if (is_write) {
+      a.has_write = true;
+      a.w_proc = proc;
+      a.w_clock = now;
+      a.w_label = label;
+      a.w_step = step;
+      a.reads.clear();
+    } else {
+      ReadEntry* mine = nullptr;
+      for (ReadEntry& r : a.reads) {
+        if (r.proc == proc) mine = &r;
+      }
+      if (mine == nullptr) {
+        a.reads.push_back({});
+        mine = &a.reads.back();
+        mine->proc = proc;
+      }
+      mine->clock = now;
+      mine->label = label;
+      mine->step = step;
+    }
+
+    if (sync) join(a.sync, c);  // release: publish everything done so far
+    ++c[proc];                  // tick: successive accesses get fresh epochs
+  }
+
+  [[nodiscard]] SyncModel model() const noexcept { return model_; }
+
+ private:
+  using Clock = std::vector<std::uint64_t>;
+
+  struct ReadEntry {
+    std::uint32_t proc = 0;
+    std::uint64_t clock = 0;
+    const char* label = "";
+    std::uint64_t step = 0;
+  };
+
+  struct AddrState {
+    Clock sync;  // L_x: the join of every releasing access to this addr
+    bool has_write = false;
+    std::uint32_t w_proc = 0;
+    std::uint64_t w_clock = 0;
+    const char* w_label = "";
+    std::uint64_t w_step = 0;
+    std::vector<ReadEntry> reads;  // reads since the last write
+  };
+
+  static std::uint64_t at(const Clock& c, std::uint32_t i) noexcept {
+    return i < c.size() ? c[i] : 0;
+  }
+  static void join(Clock& into, const Clock& from) {
+    if (into.size() < from.size()) into.resize(from.size(), 0);
+    for (std::size_t i = 0; i < from.size(); ++i) {
+      into[i] = std::max(into[i], from[i]);
+    }
+  }
+  void grow(std::uint32_t proc) {
+    if (proc < clocks_.size()) return;
+    clocks_.resize(proc + 1);
+    for (std::uint32_t i = 0; i <= proc; ++i) {
+      if (clocks_[i].size() <= i) clocks_[i].resize(i + 1, 0);
+      // A process's own component starts at 1 so its very first access has
+      // a nonzero epoch: unsynchronized peers (component 0) are unordered.
+      if (clocks_[i][i] == 0) clocks_[i][i] = 1;
+    }
+  }
+
+  SyncModel model_;
+  RaceLog* log_;
+  std::vector<Clock> clocks_;             // C_p per process
+  std::unordered_map<std::uint32_t, AddrState> addrs_;
+};
+
+}  // namespace msq::check

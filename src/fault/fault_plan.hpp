@@ -42,6 +42,7 @@ namespace msq::fault {
 class FaultPlan;
 
 namespace detail {
+// share-ok: armed/disarmed a handful of times per test; never contended
 inline std::atomic<FaultPlan*> g_active_plan{nullptr};
 }  // namespace detail
 

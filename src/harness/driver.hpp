@@ -71,10 +71,12 @@ WorkloadResult run_workload(Q& queue, const WorkloadConfig& config) {
   result.logs.reserve(p);
   for (std::uint32_t t = 0; t < p; ++t) result.logs.emplace_back(t);
 
+  // share-ok: each worker touches these once at exit (locals carry the hot
+  // path), so false sharing costs nothing measurable here
   std::atomic<std::uint64_t> enqueues{0};
-  std::atomic<std::uint64_t> dequeues{0};
-  std::atomic<std::uint64_t> empty_dequeues{0};
-  std::atomic<std::uint64_t> enqueue_failures{0};
+  std::atomic<std::uint64_t> dequeues{0};  // share-ok: see above
+  std::atomic<std::uint64_t> empty_dequeues{0};  // share-ok: see above
+  std::atomic<std::uint64_t> enqueue_failures{0};  // share-ok: see above
   std::barrier start_barrier(static_cast<std::ptrdiff_t>(p) + 1);
 
   // Per-thread shards, merged after the join: Histogram is deliberately
@@ -142,10 +144,11 @@ WorkloadResult run_workload(Q& queue, const WorkloadConfig& config) {
       port::spin_work(config.other_work_iters);
     }
 
+    // relaxed: totals are read only after the join below synchronizes
     enqueues.fetch_add(local_enq, std::memory_order_relaxed);
-    dequeues.fetch_add(local_deq, std::memory_order_relaxed);
-    empty_dequeues.fetch_add(local_empty, std::memory_order_relaxed);
-    enqueue_failures.fetch_add(local_fail, std::memory_order_relaxed);
+    dequeues.fetch_add(local_deq, std::memory_order_relaxed);  // relaxed: ^
+    empty_dequeues.fetch_add(local_empty, std::memory_order_relaxed);  // relaxed: ^
+    enqueue_failures.fetch_add(local_fail, std::memory_order_relaxed);  // relaxed: ^
   };
 
   {
@@ -164,10 +167,11 @@ WorkloadResult run_workload(Q& queue, const WorkloadConfig& config) {
     result.elapsed_seconds = port::ns_to_seconds(t1 - t0);
   }
 
-  result.enqueues = enqueues.load();
-  result.dequeues = dequeues.load();
-  result.empty_dequeues = empty_dequeues.load();
-  result.enqueue_failures = enqueue_failures.load();
+  // relaxed: workers are joined; the join is the synchronization
+  result.enqueues = enqueues.load(std::memory_order_relaxed);
+  result.dequeues = dequeues.load(std::memory_order_relaxed);  // relaxed: ^
+  result.empty_dequeues = empty_dequeues.load(std::memory_order_relaxed);  // relaxed: ^
+  result.enqueue_failures = enqueue_failures.load(std::memory_order_relaxed);  // relaxed: ^
   for (const LatencyShard& shard : latency) {
     result.enqueue_latency_ns.merge(shard.enqueue_ns);
     result.dequeue_latency_ns.merge(shard.dequeue_ns);

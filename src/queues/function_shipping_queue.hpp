@@ -85,8 +85,10 @@ class FunctionShippingQueue {
   // to even.  Value and ok are protected by the seq handshake
   // (release/acquire on seq).
   struct alignas(port::kCacheLine) Slot {
+    // share-ok: the Slot struct is cache-line aligned; one mailbox per
+    // client, so its fields share a line with nothing else
     std::atomic<std::uint64_t> seq{0};
-    std::atomic<bool> active{false};
+    std::atomic<bool> active{false};  // share-ok: ^
     Op op = Op::kEnqueue;
     T value{};
     bool ok = false;
@@ -99,6 +101,8 @@ class FunctionShippingQueue {
 
   Reply ship(Op op, T value) {
     Slot& slot = my_slot();
+    // relaxed: only this client bumps to odd; re-reads its own/manager state
+    // that the previous reply's acquire already synchronized
     const std::uint64_t request_seq = slot.seq.load(std::memory_order_relaxed) + 1;
     slot.op = op;
     slot.value = std::move(value);
@@ -181,7 +185,9 @@ class FunctionShippingQueue {
   std::uint32_t size_ = 0;
 
   static std::uint64_t next_id() noexcept {
+    // share-ok: touched once per queue construction
     static std::atomic<std::uint64_t> counter{1};
+    // relaxed: unique-id draw; no payload is published through it
     return counter.fetch_add(1, std::memory_order_relaxed);
   }
 

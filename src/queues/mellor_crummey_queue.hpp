@@ -61,9 +61,9 @@ class MellorCrummeyQueue {
   explicit MellorCrummeyQueue(std::uint32_t capacity)
       : pool_(capacity + 1), freelist_(pool_) {
     const std::uint32_t dummy = freelist_.try_allocate();
-    pool_[dummy].next.store(tagged::TaggedIndex{});
-    head_.value.store(tagged::TaggedIndex(dummy, 0));
-    tail_.value.store(tagged::TaggedIndex(dummy, 0));
+    pool_[dummy].next.store(tagged::TaggedIndex{}, std::memory_order_release);
+    head_.value.store(tagged::TaggedIndex(dummy, 0), std::memory_order_release);
+    tail_.value.store(tagged::TaggedIndex(dummy, 0), std::memory_order_release);
   }
 
   MellorCrummeyQueue(const MellorCrummeyQueue&) = delete;
@@ -74,14 +74,14 @@ class MellorCrummeyQueue {
   bool try_enqueue(T value) noexcept {
     const std::uint32_t node = freelist_.try_allocate();
     if (node == tagged::kNullIndex) return false;
-    pool_[node].value.store(value);
-    pool_[node].next.store(tagged::TaggedIndex{});
+    pool_[node].value.put(value);
+    pool_[node].next.store(tagged::TaggedIndex{}, std::memory_order_release);
     // fetch_and_store: swing Tail to the new node, learn the predecessor.
     const tagged::TaggedIndex prev =
-        tail_.value.exchange(tagged::TaggedIndex(node, 0));
+        tail_.value.exchange(tagged::TaggedIndex(node, 0), std::memory_order_acq_rel);
     // modify: link the predecessor.  A stall HERE is the blocking window.
     MSQ_PROBE("mc.link");
-    pool_[prev.index()].next.store(tagged::TaggedIndex(node, 0));
+    pool_[prev.index()].next.store(tagged::TaggedIndex(node, 0), std::memory_order_release);
     MSQ_COUNT(kEnqueue);
     return true;
   }
@@ -91,11 +91,11 @@ class MellorCrummeyQueue {
   bool try_dequeue(T& out) noexcept {
     BackoffPolicy backoff;
     for (;;) {
-      const tagged::TaggedIndex head = head_.value.load();
-      const tagged::TaggedIndex next = pool_[head.index()].next.load();
+      const tagged::TaggedIndex head = head_.value.load(std::memory_order_acquire);
+      const tagged::TaggedIndex next = pool_[head.index()].next.load(std::memory_order_acquire);
       if (next.is_null()) {
-        const tagged::TaggedIndex tail = tail_.value.load();
-        if (tail.index() == head.index() && head == head_.value.load()) {
+        const tagged::TaggedIndex tail = tail_.value.load(std::memory_order_acquire);
+        if (tail.index() == head.index() && head == head_.value.load(std::memory_order_acquire)) {
           MSQ_COUNT(kDequeueEmpty);
           return false;  // genuinely empty
         }
@@ -107,9 +107,9 @@ class MellorCrummeyQueue {
         continue;
       }
       // Read value before the CAS (another dequeuer might free `next`).
-      const T value = pool_[next.index()].value.load();
+      const T value = pool_[next.index()].value.get();
       MSQ_COUNT(kCasAttempt);
-      if (head_.value.compare_and_swap(head, head.successor(next.index()))) {
+      if (head_.value.compare_and_swap(head, head.successor(next.index()), std::memory_order_acq_rel)) {
         out = value;
         freelist_.free(head.index());
         MSQ_COUNT(kDequeue);

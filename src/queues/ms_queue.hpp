@@ -50,9 +50,9 @@ class MsQueue {
     // initialize(Q): node = new_node(); node->next.ptr = NULL;
     //                Q->Head = Q->Tail = node
     const std::uint32_t dummy = freelist_.try_allocate();
-    pool_[dummy].next.store(tagged::TaggedIndex{});
-    head_.value.store(tagged::TaggedIndex(dummy, 0));
-    tail_.value.store(tagged::TaggedIndex(dummy, 0));
+    pool_[dummy].next.store(tagged::TaggedIndex{}, std::memory_order_release);
+    head_.value.store(tagged::TaggedIndex(dummy, 0), std::memory_order_release);
+    tail_.value.store(tagged::TaggedIndex(dummy, 0), std::memory_order_release);
   }
 
   MsQueue(const MsQueue&) = delete;
@@ -64,25 +64,25 @@ class MsQueue {
     const std::uint32_t node = freelist_.try_allocate();
     if (node == tagged::kNullIndex) return false;
     // E2: node->value = value;  E3: node->next.ptr = NULL
-    pool_[node].value.store(value);
-    pool_[node].next.store(tagged::TaggedIndex{});
+    pool_[node].value.put(value);
+    pool_[node].next.store(tagged::TaggedIndex{}, std::memory_order_release);
 
     BackoffPolicy backoff;
     for (;;) {  // E4: repeat
-      const tagged::TaggedIndex tail = tail_.value.load();       // E5
-      const tagged::TaggedIndex next = pool_[tail.index()].next.load();  // E6
-      if (tail == tail_.value.load()) {  // E7: are tail and next consistent?
+      const tagged::TaggedIndex tail = tail_.value.load(std::memory_order_acquire);       // E5
+      const tagged::TaggedIndex next = pool_[tail.index()].next.load(std::memory_order_acquire);  // E6
+      if (tail == tail_.value.load(std::memory_order_acquire)) {  // E7: are tail and next consistent?
         if (next.is_null()) {            // E8: was Tail pointing to the last node?
           // E9: try to link node at the end of the linked list
           MSQ_PROBE_COUNT("ms.E9", kCasAttempt);
           if (pool_[tail.index()].next.compare_and_swap(
-                  next, next.successor(node))) {
+                  next, next.successor(node), std::memory_order_acq_rel)) {
             // E10: break -- enqueue is done.
             // E13: try to swing Tail to the inserted node.  A thread halted
             // HERE has committed the enqueue but left Tail lagging -- the
             // window the helping paths (E12/D9) exist for.
             MSQ_PROBE("ms.E13");
-            tail_.value.compare_and_swap(tail, tail.successor(node));
+            tail_.value.compare_and_swap(tail, tail.successor(node), std::memory_order_acq_rel);
             MSQ_COUNT(kEnqueue);
             return true;
           }
@@ -90,7 +90,7 @@ class MsQueue {
           backoff.pause();
         } else {
           // E12: Tail was not pointing to the last node; try to swing it
-          tail_.value.compare_and_swap(tail, tail.successor(next.index()));
+          tail_.value.compare_and_swap(tail, tail.successor(next.index()), std::memory_order_acq_rel);
         }
       }
     }
@@ -100,24 +100,24 @@ class MsQueue {
   bool try_dequeue(T& out) noexcept {
     BackoffPolicy backoff;
     for (;;) {  // D1: repeat
-      const tagged::TaggedIndex head = head_.value.load();  // D2
-      const tagged::TaggedIndex tail = tail_.value.load();  // D3
-      const tagged::TaggedIndex next = pool_[head.index()].next.load();  // D4
-      if (head == head_.value.load()) {      // D5: consistent?
+      const tagged::TaggedIndex head = head_.value.load(std::memory_order_acquire);  // D2
+      const tagged::TaggedIndex tail = tail_.value.load(std::memory_order_acquire);  // D3
+      const tagged::TaggedIndex next = pool_[head.index()].next.load(std::memory_order_acquire);  // D4
+      if (head == head_.value.load(std::memory_order_acquire)) {      // D5: consistent?
         if (head.index() == tail.index()) {  // D6: empty or Tail falling behind?
           if (next.is_null()) {              // D7: is queue empty?
             MSQ_COUNT(kDequeueEmpty);
             return false;                    // D8
           }
           // D9: Tail is falling behind; try to advance it
-          tail_.value.compare_and_swap(tail, tail.successor(next.index()));
+          tail_.value.compare_and_swap(tail, tail.successor(next.index()), std::memory_order_acq_rel);
         } else {
           // D11: read value before CAS; otherwise another dequeue might
           // free the next node
-          const T value = pool_[next.index()].value.load();
+          const T value = pool_[next.index()].value.get();
           // D12: try to swing Head to the next node
           MSQ_PROBE_COUNT("ms.D12", kCasAttempt);
-          if (head_.value.compare_and_swap(head, head.successor(next.index()))) {
+          if (head_.value.compare_and_swap(head, head.successor(next.index()), std::memory_order_acq_rel)) {
             out = value;                     // (D11's *pvalue assignment)
             freelist_.free(head.index());    // D14: free the old dummy node
             MSQ_COUNT(kDequeue);

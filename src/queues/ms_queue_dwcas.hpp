@@ -39,9 +39,9 @@ class MsQueueDw {
     // Free list initially holds all nodes but the dummy.
     for (std::uint32_t i = 1; i < capacity_; ++i) push_free(&nodes_[i]);
     Node* dummy = &nodes_[0];
-    dummy->next.store({nullptr, 0});
-    head_.value.store({dummy, 0});
-    tail_.value.store({dummy, 0});
+    dummy->next.store({nullptr, 0}, std::memory_order_release);
+    head_.value.store({dummy, 0}, std::memory_order_release);
+    tail_.value.store({dummy, 0}, std::memory_order_release);
   }
 
   MsQueueDw(const MsQueueDw&) = delete;
@@ -50,26 +50,26 @@ class MsQueueDw {
   bool try_enqueue(T value) noexcept {
     Node* node = pop_free();  // E1
     if (node == nullptr) return false;
-    node->value.store(value);       // E2
-    node->next.store({nullptr, 0});  // E3
+    node->value.put(value);       // E2
+    node->next.store({nullptr, 0}, std::memory_order_release);  // E3
 
     BackoffPolicy backoff;
     for (;;) {                                              // E4
-      const tagged::CountedPtr<Node> tail = tail_.value.load();  // E5
-      const tagged::CountedPtr<Node> next = tail.ptr->next.load();  // E6
-      if (tail == tail_.value.load()) {                     // E7
+      const tagged::CountedPtr<Node> tail = tail_.value.load(std::memory_order_acquire);  // E5
+      const tagged::CountedPtr<Node> next = tail.ptr->next.load(std::memory_order_acquire);  // E6
+      if (tail == tail_.value.load(std::memory_order_acquire)) {                     // E7
         if (next.ptr == nullptr) {                          // E8
           MSQ_PROBE_COUNT("msdw.E9", kCasAttempt);
-          if (tail.ptr->next.compare_and_swap(next, next.successor(node))) {  // E9
+          if (tail.ptr->next.compare_and_swap(next, next.successor(node), std::memory_order_acq_rel)) {  // E9
             MSQ_PROBE("msdw.E13");  // linked, Tail still lagging
-            tail_.value.compare_and_swap(tail, tail.successor(node));  // E13
+            tail_.value.compare_and_swap(tail, tail.successor(node), std::memory_order_acq_rel);  // E13
             MSQ_COUNT(kEnqueue);
             return true;  // E10
           }
           MSQ_COUNT(kCasFail);
           backoff.pause();
         } else {
-          tail_.value.compare_and_swap(tail, tail.successor(next.ptr));  // E12
+          tail_.value.compare_and_swap(tail, tail.successor(next.ptr), std::memory_order_acq_rel);  // E12
         }
       }
     }
@@ -78,20 +78,20 @@ class MsQueueDw {
   bool try_dequeue(T& out) noexcept {
     BackoffPolicy backoff;
     for (;;) {                                                   // D1
-      const tagged::CountedPtr<Node> head = head_.value.load();  // D2
-      const tagged::CountedPtr<Node> tail = tail_.value.load();  // D3
-      const tagged::CountedPtr<Node> next = head.ptr->next.load();  // D4
-      if (head == head_.value.load()) {  // D5
+      const tagged::CountedPtr<Node> head = head_.value.load(std::memory_order_acquire);  // D2
+      const tagged::CountedPtr<Node> tail = tail_.value.load(std::memory_order_acquire);  // D3
+      const tagged::CountedPtr<Node> next = head.ptr->next.load(std::memory_order_acquire);  // D4
+      if (head == head_.value.load(std::memory_order_acquire)) {  // D5
         if (head.ptr == tail.ptr) {      // D6
           if (next.ptr == nullptr) {  // D7-D8
             MSQ_COUNT(kDequeueEmpty);
             return false;
           }
-          tail_.value.compare_and_swap(tail, tail.successor(next.ptr));  // D9
+          tail_.value.compare_and_swap(tail, tail.successor(next.ptr), std::memory_order_acq_rel);  // D9
         } else {
-          const T value = next.ptr->value.load();  // D11
+          const T value = next.ptr->value.get();  // D11
           MSQ_PROBE_COUNT("msdw.D12", kCasAttempt);
-          if (head_.value.compare_and_swap(head, head.successor(next.ptr))) {  // D12
+          if (head_.value.compare_and_swap(head, head.successor(next.ptr), std::memory_order_acq_rel)) {  // D12
             out = value;
             push_free(head.ptr);  // D14
             MSQ_COUNT(kDequeue);
@@ -119,18 +119,18 @@ class MsQueueDw {
   // Treiber free list over counted pointers.
   void push_free(Node* node) noexcept {
     for (;;) {
-      const tagged::CountedPtr<Node> top = free_top_.value.load();
-      node->next.store({top.ptr, 0});
-      if (free_top_.value.compare_and_swap(top, top.successor(node))) return;
+      const tagged::CountedPtr<Node> top = free_top_.value.load(std::memory_order_acquire);
+      node->next.store({top.ptr, 0}, std::memory_order_release);
+      if (free_top_.value.compare_and_swap(top, top.successor(node), std::memory_order_acq_rel)) return;
     }
   }
 
   Node* pop_free() noexcept {
     for (;;) {
-      const tagged::CountedPtr<Node> top = free_top_.value.load();
+      const tagged::CountedPtr<Node> top = free_top_.value.load(std::memory_order_acquire);
       if (top.ptr == nullptr) return nullptr;
-      const tagged::CountedPtr<Node> next = top.ptr->next.load();
-      if (free_top_.value.compare_and_swap(top, top.successor(next.ptr))) {
+      const tagged::CountedPtr<Node> next = top.ptr->next.load(std::memory_order_acquire);
+      if (free_top_.value.compare_and_swap(top, top.successor(next.ptr), std::memory_order_acq_rel)) {
         return top.ptr;
       }
     }

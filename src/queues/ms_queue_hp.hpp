@@ -40,14 +40,18 @@ class MsQueueHp {
   explicit MsQueueHp(mem::HazardDomain& domain = mem::default_domain())
       : domain_(domain) {
     Node* dummy = new Node{};
+    // relaxed: construction is single-threaded; publication happens when
+    // the queue itself is handed to other threads
     head_.value.store(dummy, std::memory_order_relaxed);
-    tail_.value.store(dummy, std::memory_order_relaxed);
+    tail_.value.store(dummy, std::memory_order_relaxed);  // relaxed: ^
   }
 
   ~MsQueueHp() {
     // Single-threaded teardown: free the remaining chain directly.
+    // relaxed: no concurrent access can exist during destruction
     Node* node = head_.value.load(std::memory_order_relaxed);
     while (node != nullptr) {
+      // relaxed: no concurrent access can exist during destruction
       Node* next = node->next.load(std::memory_order_relaxed);
       delete node;
       node = next;
@@ -69,13 +73,15 @@ class MsQueueHp {
       if (next == nullptr) {  // E8
         Node* expected = nullptr;
         MSQ_COUNT(kCasAttempt);
+        // relaxed: E9 failure retries via the acquire loads at E6/E7
         if (tail->next.compare_exchange_strong(expected, node,
                                                std::memory_order_release,
-                                               std::memory_order_relaxed)) {  // E9
+                                               std::memory_order_relaxed)) {  // relaxed: E9 ^
           Node* t = tail;
+          // relaxed: E13 failure means someone else swung the tail; done
           tail_.value.compare_exchange_strong(t, node,
                                               std::memory_order_release,
-                                              std::memory_order_relaxed);  // E13
+                                              std::memory_order_relaxed);  // relaxed: E13 ^
           domain_.clear_hazard(0);
           MSQ_COUNT(kEnqueue);
           return true;
@@ -84,6 +90,7 @@ class MsQueueHp {
         backoff.pause();
       } else {
         Node* t = tail;
+        // relaxed: helping CAS; failure means the help already happened
         tail_.value.compare_exchange_strong(t, next, std::memory_order_release,
                                             std::memory_order_relaxed);  // E12
       }
@@ -104,6 +111,7 @@ class MsQueueHp {
           return false;                                        // D8
         }
         Node* t = tail;
+        // relaxed: helping CAS; failure means the help already happened
         tail_.value.compare_exchange_strong(t, next, std::memory_order_release,
                                             std::memory_order_relaxed);  // D9
       } else {
@@ -112,9 +120,10 @@ class MsQueueHp {
         const T value = next->value;
         Node* h = head;
         MSQ_COUNT(kCasAttempt);
+        // relaxed: D12 failure retries via the acquire loads at D3/D5
         if (head_.value.compare_exchange_strong(h, next,
                                                 std::memory_order_release,
-                                                std::memory_order_relaxed)) {  // D12
+                                                std::memory_order_relaxed)) {  // relaxed: D12 ^
           out = value;
           clear_hazards();
           domain_.retire(head);  // D14: deferred free replaces the free list
@@ -136,6 +145,7 @@ class MsQueueHp {
  private:
   struct Node {
     T value{};
+    // share-ok: value+link packed in one node by design (one node, one line)
     std::atomic<Node*> next{nullptr};
   };
 

@@ -49,9 +49,9 @@ class PljQueue {
   explicit PljQueue(std::uint32_t capacity)
       : pool_(capacity + 1), freelist_(pool_) {
     const std::uint32_t dummy = freelist_.try_allocate();
-    pool_[dummy].next.store(tagged::TaggedIndex{});
-    head_.value.store(tagged::TaggedIndex(dummy, 0));
-    tail_.value.store(tagged::TaggedIndex(dummy, 0));
+    pool_[dummy].next.store(tagged::TaggedIndex{}, std::memory_order_release);
+    head_.value.store(tagged::TaggedIndex(dummy, 0), std::memory_order_release);
+    tail_.value.store(tagged::TaggedIndex(dummy, 0), std::memory_order_release);
   }
 
   PljQueue(const PljQueue&) = delete;
@@ -60,8 +60,8 @@ class PljQueue {
   bool try_enqueue(T value) noexcept {
     const std::uint32_t node = freelist_.try_allocate();
     if (node == tagged::kNullIndex) return false;
-    pool_[node].value.store(value);
-    pool_[node].next.store(tagged::TaggedIndex{});
+    pool_[node].value.put(value);
+    pool_[node].next.store(tagged::TaggedIndex{}, std::memory_order_release);
 
     BackoffPolicy backoff;
     for (;;) {
@@ -70,13 +70,13 @@ class PljQueue {
         // The snapshot exposed a lagging Tail: complete the slower
         // process's operation (helping), then retry.
         tail_.value.compare_and_swap(
-            snap.tail, snap.tail.successor(snap.tail_next.index()));
+            snap.tail, snap.tail.successor(snap.tail_next.index()), std::memory_order_acq_rel);
         continue;
       }
       MSQ_COUNT(kCasAttempt);
       if (pool_[snap.tail.index()].next.compare_and_swap(
-              snap.tail_next, snap.tail_next.successor(node))) {
-        tail_.value.compare_and_swap(snap.tail, snap.tail.successor(node));
+              snap.tail_next, snap.tail_next.successor(node), std::memory_order_acq_rel)) {
+        tail_.value.compare_and_swap(snap.tail, snap.tail.successor(node), std::memory_order_acq_rel);
         MSQ_COUNT(kEnqueue);
         return true;
       }
@@ -89,8 +89,8 @@ class PljQueue {
     BackoffPolicy backoff;
     for (;;) {
       const Snapshot snap = take_snapshot();
-      const tagged::TaggedIndex first = pool_[snap.head.index()].next.load();
-      if (snap.head != head_.value.load()) continue;  // snapshot went stale
+      const tagged::TaggedIndex first = pool_[snap.head.index()].next.load(std::memory_order_acquire);
+      if (snap.head != head_.value.load(std::memory_order_acquire)) continue;  // snapshot went stale
       if (snap.head.index() == snap.tail.index()) {
         if (first.is_null()) {
           MSQ_COUNT(kDequeueEmpty);
@@ -99,15 +99,15 @@ class PljQueue {
         // State: tail lagging on a non-empty queue; help before touching
         // Head, so Tail can never point at a dequeued node.
         tail_.value.compare_and_swap(snap.tail,
-                                     snap.tail.successor(first.index()));
+                                     snap.tail.successor(first.index()), std::memory_order_acq_rel);
         continue;
       }
       if (first.is_null()) continue;  // stale triple; cannot happen if the
                                       // snapshot invariants hold, but cheap
-      const T value = pool_[first.index()].value.load();
+      const T value = pool_[first.index()].value.get();
       MSQ_COUNT(kCasAttempt);
       if (head_.value.compare_and_swap(snap.head,
-                                       snap.head.successor(first.index()))) {
+                                       snap.head.successor(first.index()), std::memory_order_acq_rel)) {
         out = value;
         freelist_.free(snap.head.index());
         MSQ_COUNT(kDequeue);
@@ -140,10 +140,10 @@ class PljQueue {
   /// Tail->next -- two shared variables re-checked (vs. the MS queue's one).
   [[nodiscard]] Snapshot take_snapshot() const noexcept {
     for (;;) {
-      const tagged::TaggedIndex head = head_.value.load();
-      const tagged::TaggedIndex tail = tail_.value.load();
-      const tagged::TaggedIndex tail_next = pool_[tail.index()].next.load();
-      if (head == head_.value.load() && tail == tail_.value.load()) {
+      const tagged::TaggedIndex head = head_.value.load(std::memory_order_acquire);
+      const tagged::TaggedIndex tail = tail_.value.load(std::memory_order_acquire);
+      const tagged::TaggedIndex tail_next = pool_[tail.index()].next.load(std::memory_order_acquire);
+      if (head == head_.value.load(std::memory_order_acquire) && tail == tail_.value.load(std::memory_order_acquire)) {
         return Snapshot{head, tail, tail_next};
       }
       port::cpu_relax();

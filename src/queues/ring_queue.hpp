@@ -38,6 +38,7 @@ class RingQueue {
         mask_(capacity_ - 1),
         cells_(std::make_unique<Cell[]>(capacity_)) {
     for (std::uint32_t i = 0; i < capacity_; ++i) {
+      // relaxed: construction is single-threaded
       cells_[i].seq.store(i, std::memory_order_relaxed);
     }
   }
@@ -47,14 +48,17 @@ class RingQueue {
 
   /// Returns false iff the ring is full of undequeued items.
   bool try_enqueue(T value) noexcept {
+    // relaxed: a stale ticket just retries; cell.seq carries the ordering
     std::uint64_t ticket = enq_ticket_.load(std::memory_order_relaxed);
     for (;;) {
       Cell& cell = cells_[ticket & mask_];
       const std::uint64_t seq = cell.seq.load(std::memory_order_acquire);
       if (seq == ticket) {
         // Slot free for this round: claim the ticket.
+        // relaxed: the seq acquire/release handshake orders the payload;
+        // the ticket is only an allocation counter
         if (enq_ticket_.compare_exchange_weak(ticket, ticket + 1,
-                                              std::memory_order_relaxed)) {
+                                              std::memory_order_relaxed)) {  // relaxed: ^
           cell.value = std::move(value);
           // Handshake: publish the filled slot.  A stall between the claim
           // above and this store is exactly the blocking window.
@@ -64,14 +68,17 @@ class RingQueue {
       } else if (seq < ticket) {
         // The slot still holds an item from `capacity_` tickets ago that no
         // dequeuer has taken: ring full.
+        // relaxed: fullness estimate; a stale read only delays the verdict
         if (deq_ticket_.load(std::memory_order_relaxed) + capacity_ <= ticket) {
           return false;
         }
         // A dequeuer is mid-handshake on this slot; wait for it (blocking).
         port::cpu_relax();
+        // relaxed: retry reload; cell.seq carries the ordering
         ticket = enq_ticket_.load(std::memory_order_relaxed);
       } else {
         // Another enqueuer advanced the ticket; reload and retry.
+        // relaxed: retry reload; cell.seq carries the ordering
         ticket = enq_ticket_.load(std::memory_order_relaxed);
       }
     }
@@ -80,14 +87,17 @@ class RingQueue {
   /// Returns false iff the queue was observed empty (all enqueue tickets
   /// consumed).  Waits -- blocks -- for an in-flight enqueuer.
   bool try_dequeue(T& out) noexcept {
+    // relaxed: a stale ticket just retries; cell.seq carries the ordering
     std::uint64_t ticket = deq_ticket_.load(std::memory_order_relaxed);
     for (;;) {
       Cell& cell = cells_[ticket & mask_];
       const std::uint64_t seq = cell.seq.load(std::memory_order_acquire);
       if (seq == ticket + 1) {
         // Slot filled for this round: claim it.
+        // relaxed: the seq acquire/release handshake orders the payload;
+        // the ticket is only an allocation counter
         if (deq_ticket_.compare_exchange_weak(ticket, ticket + 1,
-                                              std::memory_order_relaxed)) {
+                                              std::memory_order_relaxed)) {  // relaxed: ^
           out = std::move(cell.value);
           // Handshake: recycle the slot for `capacity_` tickets later.
           cell.seq.store(ticket + capacity_, std::memory_order_release);
@@ -95,12 +105,15 @@ class RingQueue {
         }
       } else if (seq <= ticket) {
         // Slot not filled.  Empty, or an enqueuer claimed it and stalled?
+        // relaxed: emptiness estimate; a stale read only delays the verdict
         if (enq_ticket_.load(std::memory_order_relaxed) <= ticket) {
           return false;  // no enqueue ticket issued for us: truly empty
         }
         port::cpu_relax();  // enqueuer in flight: wait (blocking)
+        // relaxed: retry reload; cell.seq carries the ordering
         ticket = deq_ticket_.load(std::memory_order_relaxed);
       } else {
+        // relaxed: retry reload; cell.seq carries the ordering
         ticket = deq_ticket_.load(std::memory_order_relaxed);
       }
     }
@@ -114,6 +127,8 @@ class RingQueue {
 
  private:
   struct Cell {
+    // share-ok: seq+value packed per slot by design (one slot, one line
+    // when T is small; the tickets are the contended words, aligned below)
     std::atomic<std::uint64_t> seq{0};
     T value{};
   };

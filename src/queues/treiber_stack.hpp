@@ -45,13 +45,13 @@ class TreiberStack {
   bool try_push(T value) noexcept {
     const std::uint32_t node = free_pop();
     if (node == tagged::kNullIndex) return false;
-    pool_[node].value.store(value);
+    pool_[node].value.put(value);
     BackoffPolicy backoff;
     for (;;) {
-      const tagged::TaggedIndex top = top_.value.load();
-      pool_[node].next.store(tagged::TaggedIndex(top.index(), 0));
+      const tagged::TaggedIndex top = top_.value.load(std::memory_order_acquire);
+      pool_[node].next.store(tagged::TaggedIndex(top.index(), 0), std::memory_order_release);
       MSQ_PROBE_COUNT("treiber.push_cas", kCasAttempt);
-      if (top_.value.compare_and_swap(top, top.successor(node))) {
+      if (top_.value.compare_and_swap(top, top.successor(node), std::memory_order_acq_rel)) {
         MSQ_COUNT(kEnqueue);
         return true;
       }
@@ -64,15 +64,15 @@ class TreiberStack {
   bool try_pop(T& out) noexcept {
     BackoffPolicy backoff;
     for (;;) {
-      const tagged::TaggedIndex top = top_.value.load();
+      const tagged::TaggedIndex top = top_.value.load(std::memory_order_acquire);
       if (top.is_null()) {
         MSQ_COUNT(kDequeueEmpty);
         return false;
       }
-      const tagged::TaggedIndex next = pool_[top.index()].next.load();
-      const T value = pool_[top.index()].value.load();  // before CAS, as in D11
+      const tagged::TaggedIndex next = pool_[top.index()].next.load(std::memory_order_acquire);
+      const T value = pool_[top.index()].value.get();  // before CAS, as in D11
       MSQ_PROBE_COUNT("treiber.pop_cas", kCasAttempt);
-      if (top_.value.compare_and_swap(top, top.successor(next.index()))) {
+      if (top_.value.compare_and_swap(top, top.successor(next.index()), std::memory_order_acq_rel)) {
         out = value;
         free_push(top.index());
         MSQ_COUNT(kDequeue);
@@ -97,20 +97,20 @@ class TreiberStack {
 
   void free_push(std::uint32_t node) noexcept {
     for (;;) {
-      const tagged::TaggedIndex top = free_top_.value.load();
-      pool_[node].next.store(tagged::TaggedIndex(top.index(), 0));
-      if (free_top_.value.compare_and_swap(top, top.successor(node))) return;
+      const tagged::TaggedIndex top = free_top_.value.load(std::memory_order_acquire);
+      pool_[node].next.store(tagged::TaggedIndex(top.index(), 0), std::memory_order_release);
+      if (free_top_.value.compare_and_swap(top, top.successor(node), std::memory_order_acq_rel)) return;
     }
   }
   std::uint32_t free_pop() noexcept {
     for (;;) {
-      const tagged::TaggedIndex top = free_top_.value.load();
+      const tagged::TaggedIndex top = free_top_.value.load(std::memory_order_acquire);
       if (top.is_null()) {
         MSQ_COUNT(kPoolRefuse);
         return tagged::kNullIndex;
       }
-      const tagged::TaggedIndex next = pool_[top.index()].next.load();
-      if (free_top_.value.compare_and_swap(top, top.successor(next.index()))) {
+      const tagged::TaggedIndex next = pool_[top.index()].next.load(std::memory_order_acquire);
+      if (free_top_.value.compare_and_swap(top, top.successor(next.index()), std::memory_order_acq_rel)) {
         MSQ_COUNT(kPoolGet);
         return top.index();
       }

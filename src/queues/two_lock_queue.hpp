@@ -47,7 +47,7 @@ class TwoLockQueue {
     // initialize(Q): node = new_node(); node->next = NULL;
     //                Q->Head = Q->Tail = node; locks free
     const std::uint32_t dummy = freelist_.try_allocate();
-    pool_[dummy].next.store(tagged::TaggedIndex{});
+    pool_[dummy].next.store(tagged::TaggedIndex{}, std::memory_order_release);
     head_.value = dummy;
     tail_.value = dummy;
   }
@@ -62,13 +62,13 @@ class TwoLockQueue {
     const std::uint32_t node = freelist_.try_allocate();
     if (node == tagged::kNullIndex) return false;
     pool_[node].value = std::move(value);
-    pool_[node].next.store(tagged::TaggedIndex{});
+    pool_[node].next.store(tagged::TaggedIndex{}, std::memory_order_release);
 
     {
       std::scoped_lock guard(tail_lock_.value);       // lock(&Q->T_lock)
       MSQ_PROBE("twolock.T_held");  // a thread halted here wedges enqueuers
       pool_[tail_.value].next.store(                  // Q->Tail->next = node
-          tagged::TaggedIndex(node, 0));
+          tagged::TaggedIndex(node, 0), std::memory_order_release);
       tail_.value = node;                             // Q->Tail = node
     }                                                 // unlock(&Q->T_lock)
     MSQ_COUNT(kEnqueue);
@@ -82,7 +82,7 @@ class TwoLockQueue {
       MSQ_PROBE("twolock.H_held");  // a thread halted here wedges dequeuers
       old_dummy = head_.value;                        // node = Q->Head
       const tagged::TaggedIndex new_head =
-          pool_[old_dummy].next.load();               // new_head = node->next
+          pool_[old_dummy].next.load(std::memory_order_acquire);               // new_head = node->next
       if (new_head.is_null()) {                       // is queue empty?
         MSQ_COUNT(kDequeueEmpty);
         return false;                                 // unlock via RAII

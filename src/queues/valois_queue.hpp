@@ -52,8 +52,8 @@ class ValoisQueue {
     const std::uint32_t dummy = pool_.try_allocate();  // count 1 (ours)
     pool_.add_reference(dummy);  // Head's link
     pool_.add_reference(dummy);  // Tail's link
-    head_.value.store(tagged::TaggedIndex(dummy, 0));
-    tail_.value.store(tagged::TaggedIndex(dummy, 0));
+    head_.value.store(tagged::TaggedIndex(dummy, 0), std::memory_order_release);
+    tail_.value.store(tagged::TaggedIndex(dummy, 0), std::memory_order_release);
     pool_.release(dummy);  // drop the allocation reference
   }
 
@@ -65,8 +65,8 @@ class ValoisQueue {
     T sink;
     while (try_dequeue(sink)) {
     }
-    const tagged::TaggedIndex head = head_.value.load();
-    const tagged::TaggedIndex tail = tail_.value.load();
+    const tagged::TaggedIndex head = head_.value.load(std::memory_order_acquire);
+    const tagged::TaggedIndex tail = tail_.value.load(std::memory_order_acquire);
     pool_.release(tail.index());  // Tail's link (possibly a lagging node)
     pool_.release(head.index());  // Head's link (the final dummy)
   }
@@ -77,12 +77,12 @@ class ValoisQueue {
   bool try_enqueue(T value) noexcept {
     const std::uint32_t node = pool_.try_allocate();  // count 1 (ours)
     if (node == tagged::kNullIndex) return false;
-    pool_.node(node).value.store(value);
+    pool_.node(node).value.put(value);
 
     BackoffPolicy backoff;
     for (;;) {
       const tagged::TaggedIndex tail = pool_.safe_read(tail_.value);
-      const tagged::TaggedIndex next = pool_.node(tail.index()).rc.next.load();
+      const tagged::TaggedIndex next = pool_.node(tail.index()).rc.next.load(std::memory_order_acquire);
       if (next.is_null()) {
         MSQ_COUNT(kCasAttempt);
         if (rc_cas(pool_.node(tail.index()).rc.next, next, node)) {
@@ -121,7 +121,7 @@ class ValoisQueue {
       if (rc_cas(head_.value, head, first.index())) {
         // We hold a SafeRead reference on `first`, so its value is stable
         // even though it is now the dummy and other dequeues proceed.
-        out = pool_.node(first.index()).value.load();
+        out = pool_.node(first.index()).value.get();
         pool_.release(head.index());   // SafeRead ref; may trigger reclaim
         pool_.release(first.index());  // SafeRead ref
         MSQ_COUNT(kDequeue);
@@ -165,7 +165,7 @@ class ValoisQueue {
   bool rc_cas(tagged::AtomicTagged& cell, tagged::TaggedIndex expected,
               std::uint32_t new_index) noexcept {
     pool_.add_reference(new_index);
-    if (cell.compare_and_swap(expected, expected.successor(new_index))) {
+    if (cell.compare_and_swap(expected, expected.successor(new_index), std::memory_order_acq_rel)) {
       if (!expected.is_null()) pool_.release(expected.index());
       return true;
     }

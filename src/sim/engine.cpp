@@ -29,6 +29,7 @@ void Proc::annotate(const char* label) noexcept {
 Engine::Engine(EngineConfig config)
     : config_(config), cost_model_(config.cost), rng_(config.seed) {
   processors_.resize(config_.processors);
+  if (config_.race_detect) hb_.emplace(config_.sync_model, race_log_);
 }
 
 Engine::~Engine() {
@@ -39,6 +40,7 @@ std::uint64_t Engine::execute(std::uint32_t id, const PendingOp& op) {
   Process& p = process(id);
   double cost = 0;
   std::uint64_t result = 0;
+  bool wrote = false;  // did the op mutate the word (failed CAS does not)
   const std::uint32_t processor = p.processor;
   switch (op.kind) {
     case OpKind::kRead:
@@ -48,6 +50,7 @@ std::uint64_t Engine::execute(std::uint32_t id, const PendingOp& op) {
     case OpKind::kWrite:
       cost = cost_model_.on_write(processor, op.addr, /*rmw=*/false);
       memory_.word(op.addr) = op.operand_a;
+      wrote = true;
       break;
     case OpKind::kCas: {
       cost = cost_model_.on_write(processor, op.addr, /*rmw=*/true);
@@ -58,6 +61,7 @@ std::uint64_t Engine::execute(std::uint32_t id, const PendingOp& op) {
       MSQ_COUNT(kCasAttempt);
       if (w == op.operand_a) {
         w = op.operand_b;
+        wrote = true;
       } else {
         MSQ_COUNT(kCasFail);
       }
@@ -68,6 +72,7 @@ std::uint64_t Engine::execute(std::uint32_t id, const PendingOp& op) {
       std::uint64_t& w = memory_.word(op.addr);
       result = w;
       w += op.operand_a;
+      wrote = true;
       break;
     }
     case OpKind::kSwap: {
@@ -75,11 +80,20 @@ std::uint64_t Engine::execute(std::uint32_t id, const PendingOp& op) {
       std::uint64_t& w = memory_.word(op.addr);
       result = w;
       w = op.operand_a;
+      wrote = true;
       break;
     }
     case OpKind::kWork:
       cost = cost_model_.on_work(op.work_cost);
       break;
+  }
+  if (op.kind != OpKind::kWork) {
+    last_access_ = {true, op.kind, op.addr, wrote};
+    if (hb_) {
+      const bool rmw = op.kind == OpKind::kCas || op.kind == OpKind::kFaa ||
+                       op.kind == OpKind::kSwap;
+      hb_->on_access(id, p.label, op.addr, wrote, rmw, steps_);
+    }
   }
   if (config_.jitter > 0) {
     cost += config_.jitter * static_cast<double>(rng_() >> 40) /
@@ -93,6 +107,7 @@ std::uint64_t Engine::execute(std::uint32_t id, const PendingOp& op) {
 void Engine::resume_one(std::uint32_t id) {
   Process& p = process(id);
   p.last_step_cost = 0;
+  last_access_ = {};  // set again by execute() iff this step touches memory
   if (!p.started) {
     p.started = true;
     p.root->start();
@@ -111,6 +126,7 @@ bool Engine::step(std::uint32_t id) {
   }
   if (p.stall_remaining > 0) {
     // The step is consumed idling: a stalled process declines its slot.
+    last_access_ = {};
     tick_stalls();
     return true;
   }

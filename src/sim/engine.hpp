@@ -31,6 +31,7 @@
 #include <optional>
 #include <vector>
 
+#include "check/race.hpp"
 #include "port/prng.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/memory.hpp"
@@ -129,6 +130,12 @@ struct EngineConfig {
   CostParams cost{};
   std::uint64_t seed = 1;
   double jitter = 0;  // uniform extra cost in [0, jitter) per step
+  // Happens-before race detection (check/race.hpp): every access is stamped
+  // with a vector clock; sync_model declares which operations carry
+  // release/acquire edges.  Off by default: stamping costs a map lookup per
+  // access, and most tests want raw speed.
+  bool race_detect = false;
+  check::SyncModel sync_model = check::SyncModel::kRmw;
 };
 
 class Engine {
@@ -216,6 +223,27 @@ class Engine {
     return processors_.at(processor).clock;
   }
 
+  // --- race-detection interface (check/race.hpp) --------------------------
+  /// Reports collected so far (empty unless config.race_detect).
+  [[nodiscard]] const check::RaceLog& races() const noexcept {
+    return race_log_;
+  }
+  [[nodiscard]] check::RaceLog& races() noexcept { return race_log_; }
+
+  /// The shared-memory access performed by the most recent step, if any
+  /// (label suspensions, work episodes, idle stall ticks and final
+  /// co_returns perform none).  The DPOR explorer uses this to build its
+  /// dependence relation without reaching into the engine's internals.
+  struct LastAccess {
+    bool valid = false;
+    OpKind kind = OpKind::kWork;
+    Addr addr = 0;
+    bool is_write = false;  // mutated the word (failed CAS is a read)
+  };
+  [[nodiscard]] const LastAccess& last_access() const noexcept {
+    return last_access_;
+  }
+
  private:
   friend struct Proc::OpAwaiter;
   friend struct Proc::LabelAwaiter;
@@ -268,6 +296,9 @@ class Engine {
   std::vector<std::unique_ptr<Process>> processes_;
   std::vector<Processor> processors_;
   std::uint64_t steps_ = 0;
+  check::RaceLog race_log_;
+  std::optional<check::HbTracker> hb_;  // engaged iff config_.race_detect
+  LastAccess last_access_{};
 };
 
 }  // namespace msq::sim

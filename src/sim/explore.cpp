@@ -1,6 +1,13 @@
 #include "sim/explore.hpp"
 
+#include <algorithm>
+#include <cassert>
 #include <memory>
+#include <set>
+#include <unordered_map>
+#include <utility>
+
+#include "obs/counters.hpp"
 
 namespace msq::sim {
 namespace {
@@ -16,12 +23,24 @@ std::uint32_t next_runnable(const Engine& engine, std::uint32_t from) {
   return n;
 }
 
+/// The same wrap-around choice, but over a recorded done-bitmask from the
+/// baseline run (for deciding whether a preemption placement is a no-op
+/// without re-running it).
+std::uint32_t next_runnable_in_mask(std::uint64_t done_mask, std::uint32_t n,
+                                    std::uint32_t from) {
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint32_t candidate = (from + i) % n;
+    if ((done_mask & (1ull << candidate)) == 0) return candidate;
+  }
+  return n;
+}
+
 }  // namespace
 
-std::uint64_t run_schedule(Engine& engine,
-                           const std::vector<Preemption>& preemptions,
-                           std::uint64_t max_steps,
-                           const std::function<void()>& on_step) {
+std::uint64_t run_schedule(
+    Engine& engine, const std::vector<Preemption>& preemptions,
+    std::uint64_t max_steps, const std::function<void()>& on_step,
+    const std::function<void(std::uint64_t, std::uint32_t)>& on_choice) {
   std::uint32_t current = 0;
   std::uint64_t steps = 0;
   std::size_t next_preemption = 0;
@@ -36,6 +55,7 @@ std::uint64_t run_schedule(Engine& engine,
     }
     current = next_runnable(engine, current);
     if (current == engine.process_count()) break;  // everything finished
+    if (on_choice) on_choice(steps, current);
     engine.step(current);
     ++steps;
     if (on_step) on_step();
@@ -49,10 +69,12 @@ ExploreResult explore_schedules(const ExploreConfig& config,
                                 const std::function<Engine&()>& factory,
                                 const std::function<void(Engine&)>& on_step,
                                 const std::function<void(Engine&)>& on_done) {
+  assert(process_count <= 64 && "done-bitmask assumes <= 64 processes");
   ExploreResult result;
 
   auto run_one = [&](const std::vector<Preemption>& preemptions) {
     Engine& engine = factory();
+    MSQ_COUNT(kExploreRun);
     run_schedule(engine, preemptions, config.max_steps_per_run,
                  [&] { if (on_step) on_step(engine); });
     if (on_done) on_done(engine);
@@ -60,20 +82,50 @@ ExploreResult explore_schedules(const ExploreConfig& config,
     return result.schedules_run < config.max_schedules;
   };
 
-  // Baseline: the preemption-free schedule fixes the step horizon L.
+  // Baseline: the preemption-free schedule fixes the step horizon L and
+  // records, per step, which process ran and which were already done.  A
+  // forced switch whose target would be chosen anyway (or is done, making
+  // the preemption a no-op) replays this exact schedule -- skip it.
   std::uint64_t horizon = 0;
+  std::vector<std::uint32_t> base_choice;
+  std::vector<std::uint64_t> base_done_mask;
   {
     Engine& engine = factory();
-    horizon = run_schedule(engine, {}, config.max_steps_per_run,
-                           [&] { if (on_step) on_step(engine); });
+    MSQ_COUNT(kExploreRun);
+    horizon = run_schedule(
+        engine, {}, config.max_steps_per_run,
+        [&] { if (on_step) on_step(engine); },
+        [&](std::uint64_t, std::uint32_t chosen) {
+          std::uint64_t mask = 0;
+          for (std::uint32_t q = 0; q < process_count; ++q) {
+            if (engine.done(q)) mask |= 1ull << q;
+          }
+          base_choice.push_back(chosen);
+          base_done_mask.push_back(mask);
+        });
     if (on_done) on_done(engine);
     ++result.schedules_run;
   }
+
+  // Is a forced switch to `target` before baseline step `s` a no-op?
+  auto degenerate = [&](std::uint64_t s, std::uint32_t target) {
+    if (s >= base_choice.size()) return true;  // past the horizon: no step
+    return next_runnable_in_mask(base_done_mask[s], process_count, target) ==
+           base_choice[s];
+  };
+  auto skip = [&] {
+    MSQ_COUNT(kExploreSkip);
+    ++result.schedules_skipped;
+  };
 
   // k = 1: one forced switch at every (position, target).
   if (config.max_preemptions >= 1) {
     for (std::uint64_t s = 1; s < horizon; ++s) {
       for (std::uint32_t t = 0; t < process_count; ++t) {
+        if (degenerate(s, t)) {
+          skip();
+          continue;
+        }
         if (!run_one({{s, t}})) {
           result.budget_exhausted = true;
           return result;
@@ -82,13 +134,20 @@ ExploreResult explore_schedules(const ExploreConfig& config,
     }
   }
 
-  // k = 2: ordered pairs of switch points.
+  // k = 2: ordered pairs of switch points.  Only the FIRST switch can be
+  // judged against the baseline (after a real first switch the execution
+  // deviates from it); a degenerate first switch reduces the pair to a
+  // k = 1 schedule already run above.
   if (config.max_preemptions >= 2) {
     for (std::uint64_t s1 = 1; s1 < horizon; ++s1) {
       for (std::uint64_t s2 = s1 + 1; s2 <= horizon; ++s2) {
         for (std::uint32_t t1 = 0; t1 < process_count; ++t1) {
           for (std::uint32_t t2 = 0; t2 < process_count; ++t2) {
             if (t1 == t2) continue;  // same-target pair adds nothing new
+            if (degenerate(s1, t1)) {
+              skip();
+              continue;
+            }
             if (!run_one({{s1, t1}, {s2, t2}})) {
               result.budget_exhausted = true;
               return result;
@@ -101,6 +160,234 @@ ExploreResult explore_schedules(const ExploreConfig& config,
 
   // Deeper preemption bounds would go here; 2 suffices for every race in
   // the paper's catalogue (and the tests assert that).
+  return result;
+}
+
+// --- dynamic partial-order reduction ----------------------------------------
+//
+// Flanagan-Godefroid DPOR with sleep sets, by replay.  The search state is
+// the current path: one node per executed step, holding the scheduling
+// alternatives discovered so far.  Each iteration replays the path's
+// choices on a fresh engine, extends it to completion with a default
+// strategy, analyses the trace with vector clocks to plant backtrack
+// points at conflicting steps, then backtracks DFS-style to the deepest
+// node with an untried alternative.
+
+namespace {
+
+struct DporAccess {
+  bool valid = false;
+  Addr addr = 0;
+  bool is_write = false;
+};
+
+bool dpor_conflict(const DporAccess& a, const DporAccess& b) noexcept {
+  return a.valid && b.valid && a.addr == b.addr && (a.is_write || b.is_write);
+}
+
+using DporClock = std::vector<std::uint64_t>;
+
+void clock_join(DporClock& into, const DporClock& from) {
+  for (std::size_t i = 0; i < from.size(); ++i) {
+    into[i] = std::max(into[i], from[i]);
+  }
+}
+
+struct DporNode {
+  std::vector<std::uint32_t> enabled;  // processes runnable at this node
+  std::set<std::uint32_t> backtrack;   // alternatives to explore from here
+  std::set<std::uint32_t> done;        // alternatives already explored
+  // Sleep set on entry plus the accesses of already-explored choices:
+  // a sleeping process's recorded next access stays valid because the
+  // engine is deterministic and the process does not run while asleep.
+  std::vector<std::pair<std::uint32_t, DporAccess>> sleep;
+  std::vector<std::pair<std::uint32_t, DporAccess>> explored;
+  std::uint32_t chosen = 0;
+  DporAccess access{};
+};
+
+/// Per-address trace summary for the race rule: the last write and the
+/// reads since it, each with the executing process, its step index in the
+/// path and its happens-before clock.
+struct DporAddrTrace {
+  bool has_write = false;
+  std::uint32_t w_proc = 0;
+  std::size_t w_index = 0;
+  DporClock w_clock;
+  std::unordered_map<std::uint32_t, std::pair<std::size_t, DporClock>> reads;
+};
+
+}  // namespace
+
+DporResult explore_dpor(const DporConfig& config, std::uint32_t process_count,
+                        const std::function<Engine&()>& factory,
+                        const std::function<void(Engine&)>& on_step,
+                        const std::function<void(Engine&)>& on_done) {
+  DporResult result;
+  std::vector<DporNode> path;
+  bool first_run = true;
+
+  while (first_run || !path.empty()) {
+    first_run = false;
+    if (result.schedules_run + result.sleep_blocked >= config.max_schedules) {
+      result.budget_exhausted = true;
+      return result;
+    }
+
+    Engine& engine = factory();
+    MSQ_COUNT(kExploreRun);
+
+    // Per-run trace analysis state, rebuilt during replay.
+    std::vector<DporClock> vc(process_count,
+                              DporClock(process_count, 0));  // C_p
+    std::unordered_map<Addr, DporAddrTrace> mem;
+    // Active sleep set carried down the path (entry sleep of the next node
+    // to create).
+    std::vector<std::pair<std::uint32_t, DporAccess>> active_sleep;
+    bool sleep_blocked = false;
+
+    for (std::size_t depth = 0;; ++depth) {
+      // Enabled = not finished.  (Spinning processes are always runnable
+      // in this framework, so "may be co-enabled" is always true.)
+      std::vector<std::uint32_t> enabled;
+      for (std::uint32_t q = 0; q < process_count; ++q) {
+        if (!engine.done(q)) enabled.push_back(q);
+      }
+
+      if (depth < path.size()) {
+        active_sleep = path[depth].sleep;  // replay: stored entry sleep
+      } else {
+        if (enabled.empty()) break;  // execution complete
+        if (depth >= config.max_steps_per_run) break;  // runaway guard
+        // New node: default strategy picks the first enabled process not
+        // asleep.  If every enabled process sleeps, this branch commutes
+        // with one already explored -- prune it.
+        DporNode node;
+        node.enabled = enabled;
+        node.sleep = active_sleep;
+        std::uint32_t choice = process_count;
+        for (const std::uint32_t q : enabled) {
+          const bool asleep =
+              std::any_of(node.sleep.begin(), node.sleep.end(),
+                          [&](const auto& e) { return e.first == q; });
+          if (!asleep) {
+            choice = q;
+            break;
+          }
+        }
+        if (choice == process_count) {
+          sleep_blocked = true;
+          break;
+        }
+        node.chosen = choice;
+        node.backtrack.insert(choice);
+        path.push_back(std::move(node));
+      }
+
+      DporNode& node = path[depth];
+      const std::uint32_t p = node.chosen;
+
+      engine.step(p);
+      const Engine::LastAccess& la = engine.last_access();
+      const DporAccess a{la.valid, la.addr, la.is_write};
+      node.access = a;
+
+      if (a.valid) {
+        // Race rule: find earlier conflicting accesses not ordered before
+        // p (by the happens-before of the trace so far) and plant
+        // backtrack points where they were scheduled.
+        DporAddrTrace& t = mem[a.addr];
+        auto plant = [&](std::size_t at_index) {
+          DporNode& site = path[at_index];
+          const bool p_enabled = std::find(site.enabled.begin(),
+                                           site.enabled.end(),
+                                           p) != site.enabled.end();
+          if (p_enabled) {
+            site.backtrack.insert(p);
+          } else {
+            for (const std::uint32_t q : site.enabled) {
+              site.backtrack.insert(q);
+            }
+          }
+        };
+        if (t.has_write && t.w_proc != p &&
+            t.w_clock[t.w_proc] > vc[p][t.w_proc]) {
+          plant(t.w_index);
+        }
+        if (a.is_write) {
+          for (const auto& [q, entry] : t.reads) {
+            if (q != p && entry.second[q] > vc[p][q]) plant(entry.first);
+          }
+        }
+
+        // Update the happens-before clocks: this access is ordered after
+        // every earlier dependent access (reads after the last write;
+        // writes after the last write and the reads since it).
+        DporClock& c = vc[p];
+        if (t.has_write) clock_join(c, t.w_clock);
+        if (a.is_write) {
+          for (const auto& [q, entry] : t.reads) clock_join(c, entry.second);
+        }
+        c[p] += 1;
+        if (a.is_write) {
+          t.has_write = true;
+          t.w_proc = p;
+          t.w_index = depth;
+          t.w_clock = c;
+          t.reads.clear();
+        } else {
+          t.reads[p] = {depth, c};
+        }
+      } else {
+        vc[p][p] += 1;  // label/work/final step: independent of everything
+      }
+
+      // Sleep propagation: processes whose recorded next access commutes
+      // with this step stay asleep below it.
+      std::vector<std::pair<std::uint32_t, DporAccess>> next_sleep;
+      auto keep = [&](const std::pair<std::uint32_t, DporAccess>& e) {
+        if (e.first == p) return;
+        if (dpor_conflict(e.second, a)) return;
+        next_sleep.push_back(e);
+      };
+      for (const auto& e : node.sleep) keep(e);
+      for (const auto& e : node.explored) keep(e);
+      active_sleep = std::move(next_sleep);
+
+      if (on_step) on_step(engine);
+    }
+
+    if (sleep_blocked) {
+      ++result.sleep_blocked;
+    } else {
+      if (on_done) on_done(engine);
+      ++result.schedules_run;
+    }
+
+    // DFS backtrack: retire the deepest explored edge, then find the
+    // deepest node with an untried, non-sleeping alternative.
+    while (!path.empty()) {
+      DporNode& v = path.back();
+      if (v.done.insert(v.chosen).second) {
+        v.explored.emplace_back(v.chosen, v.access);
+      }
+      std::uint32_t next = process_count;
+      for (const std::uint32_t q : v.backtrack) {
+        if (v.done.contains(q)) continue;
+        const bool asleep =
+            std::any_of(v.sleep.begin(), v.sleep.end(),
+                        [&](const auto& e) { return e.first == q; });
+        if (asleep) continue;
+        next = q;
+        break;
+      }
+      if (next != process_count) {
+        v.chosen = next;
+        break;
+      }
+      path.pop_back();
+    }
+  }
   return result;
 }
 

@@ -22,7 +22,8 @@ namespace msq::sync {
 
 class McsLock {
  public:
-  struct QNode {
+  struct alignas(port::kCacheLine) QNode {
+    // share-ok: both fields belong to ONE waiter (struct is line-aligned)
     std::atomic<QNode*> next{nullptr};
     std::atomic<bool> locked{false};
   };
@@ -32,8 +33,9 @@ class McsLock {
   McsLock& operator=(const McsLock&) = delete;
 
   void lock(QNode& node) noexcept {
+    // relaxed: node is still private; the exchange below publishes it
     node.next.store(nullptr, std::memory_order_relaxed);
-    node.locked.store(true, std::memory_order_relaxed);
+    node.locked.store(true, std::memory_order_relaxed);  // relaxed: ditto
     QNode* prev = tail_.exchange(&node, std::memory_order_acq_rel);
     if (prev != nullptr) {
       prev->next.store(&node, std::memory_order_release);
@@ -57,20 +59,23 @@ class McsLock {
   }
 
   bool try_lock(QNode& node) noexcept {
+    // relaxed: node is still private; the CAS below publishes it
     node.next.store(nullptr, std::memory_order_relaxed);
     QNode* expected = nullptr;
+    // relaxed: CAS failure means contention; caller just returns false
     return tail_.compare_exchange_strong(expected, &node,
                                          std::memory_order_acq_rel,
-                                         std::memory_order_relaxed);
+                                         std::memory_order_relaxed);  // relaxed: ^
   }
 
   void unlock(QNode& node) noexcept {
     QNode* successor = node.next.load(std::memory_order_acquire);
     if (successor == nullptr) {
       QNode* expected = &node;
+      // relaxed: on CAS failure the acquire re-read of next below syncs
       if (tail_.compare_exchange_strong(expected, nullptr,
                                         std::memory_order_acq_rel,
-                                        std::memory_order_relaxed)) {
+                                        std::memory_order_relaxed)) {  // relaxed: ^
         return;  // no waiter
       }
       // A waiter swapped itself in but has not linked yet; wait for the link.
@@ -101,6 +106,8 @@ class McsLock {
   };
 
  private:
+  // share-ok: the tail IS the whole lock; callers place it (the queues
+  // wrap their locks in port::CacheAligned at the use site)
   std::atomic<QNode*> tail_{nullptr};
 };
 

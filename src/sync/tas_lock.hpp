@@ -37,6 +37,8 @@ class TasLock {
   void unlock() noexcept { flag_.clear(std::memory_order_release); }
 
  private:
+  // share-ok: the flag IS the whole lock; callers place it (the queues
+  // wrap their locks in port::CacheAligned at the use site)
   std::atomic_flag flag_ = ATOMIC_FLAG_INIT;
 };
 

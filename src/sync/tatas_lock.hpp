@@ -25,6 +25,7 @@ class BasicTatasLock {
     for (;;) {
       // Local spin: read-only, stays in this processor's cache until the
       // holder's release invalidates the line.
+      // relaxed: the winning exchange below is the acquire
       while (locked_.load(std::memory_order_relaxed)) {
         spins.bump();
         port::cpu_relax();
@@ -40,6 +41,7 @@ class BasicTatasLock {
   }
 
   bool try_lock() noexcept {
+    // relaxed: optimistic pre-check; the exchange is the acquire
     return !locked_.load(std::memory_order_relaxed) &&
            !locked_.exchange(true, std::memory_order_acquire);
   }
@@ -47,6 +49,8 @@ class BasicTatasLock {
   void unlock() noexcept { locked_.store(false, std::memory_order_release); }
 
  private:
+  // share-ok: the flag IS the whole lock; callers place it (the queues
+  // wrap their locks in port::CacheAligned at the use site)
   std::atomic<bool> locked_{false};
 };
 

@@ -23,6 +23,7 @@ class TicketLock {
   TicketLock& operator=(const TicketLock&) = delete;
 
   void lock() noexcept {
+    // relaxed: drawing a ticket orders nothing; the acquire spin below syncs
     const std::uint32_t my = next_.fetch_add(1, std::memory_order_relaxed);
     std::uint32_t rounds = 0;
     obs::SpinTally spins;
@@ -31,6 +32,7 @@ class TicketLock {
       // Proportional backoff: spin roughly in proportion to queue distance;
       // like the MCS lock, hand-off is to a SPECIFIC waiter, so yield once
       // the wait outlives a short spin (oversubscribed hosts).
+      // relaxed: distance estimate for backoff only; staleness is harmless
       const std::uint32_t ahead = my - serving_.load(std::memory_order_relaxed);
       if (++rounds > 256) {
         std::this_thread::yield();
@@ -43,21 +45,24 @@ class TicketLock {
   }
 
   bool try_lock() noexcept {
+    // relaxed: a stale read only makes the CAS below fail (spurious busy)
     std::uint32_t s = serving_.load(std::memory_order_relaxed);
     std::uint32_t expected = s;
     // Succeed only if no one is waiting: next == serving and we can claim it.
+    // relaxed: CAS failure means contention; caller just returns false
     return next_.compare_exchange_strong(expected, s + 1,
                                          std::memory_order_acquire,
-                                         std::memory_order_relaxed);
+                                         std::memory_order_relaxed);  // relaxed: ^
   }
 
   void unlock() noexcept {
+    // relaxed: only the holder writes serving_; this re-reads its own write
     serving_.store(serving_.load(std::memory_order_relaxed) + 1,
                    std::memory_order_release);
   }
 
  private:
-  std::atomic<std::uint32_t> next_{0};
+  alignas(port::kCacheLine) std::atomic<std::uint32_t> next_{0};
   alignas(port::kCacheLine) std::atomic<std::uint32_t> serving_{0};
 };
 

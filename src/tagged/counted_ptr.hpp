@@ -8,6 +8,7 @@
 // cmpxchg16b, which is the lock-free primitive the algorithms require.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 
 namespace msq::tagged {
@@ -34,15 +35,23 @@ class alignas(16) AtomicCountedPtr {
   AtomicCountedPtr(const AtomicCountedPtr&) = delete;
   AtomicCountedPtr& operator=(const AtomicCountedPtr&) = delete;
 
+  // The memory_order parameters document the WEAKEST ordering each call
+  // site requires; the __sync builtins always emit a full-barrier
+  // cmpxchg16b, which satisfies any requested order.  Requiring the
+  // parameter keeps these sites under the same explicit-order discipline
+  // as the single-word cells (tools/atomics_lint.py).
+
   /// Atomic 128-bit load.  Implemented as CAS(x, x): on x86-64 there is no
   /// plain 16-byte atomic load pre-AVX guarantees, and the algorithms only
   /// ever need a consistent snapshot, which this provides.
-  [[nodiscard]] CountedPtr<T> load() const noexcept {
+  [[nodiscard]] CountedPtr<T> load(std::memory_order order) const noexcept {
+    static_cast<void>(order);  // full barrier regardless (see above)
     unsigned __int128 v = __sync_val_compare_and_swap(&bits_, 0, 0);
     return unpack(v);
   }
 
-  void store(CountedPtr<T> value) noexcept {
+  void store(CountedPtr<T> value, std::memory_order order) noexcept {
+    static_cast<void>(order);  // full barrier regardless (see above)
     unsigned __int128 expected = bits_;
     const unsigned __int128 desired = pack(value);
     for (;;) {
@@ -53,7 +62,9 @@ class alignas(16) AtomicCountedPtr {
     }
   }
 
-  bool compare_and_swap(CountedPtr<T> expected, CountedPtr<T> desired) noexcept {
+  bool compare_and_swap(CountedPtr<T> expected, CountedPtr<T> desired,
+                        std::memory_order order) noexcept {
+    static_cast<void>(order);  // full barrier regardless (see above)
     return __sync_bool_compare_and_swap(&bits_, pack(expected), pack(desired));
   }
 

@@ -78,15 +78,15 @@ TEST(FreeList, ConcurrentAllocFreeNeverDuplicates) {
     for (int t = 0; t < kThreads; ++t) {
       threads.emplace_back([&] {
         std::vector<std::uint32_t> mine;
-        for (int r = 0; r < kRounds && !failed.load(); ++r) {
+        for (int r = 0; r < kRounds && !failed.load(std::memory_order_acquire); ++r) {
           for (int i = 0; i < 8; ++i) {
             const std::uint32_t idx = freelist.try_allocate();
             if (idx == tagged::kNullIndex) break;
-            if (owned[idx].exchange(true)) failed.store(true);
+            if (owned[idx].exchange(true, std::memory_order_acq_rel)) failed.store(true, std::memory_order_release);
             mine.push_back(idx);
           }
           for (const std::uint32_t idx : mine) {
-            owned[idx].store(false);
+            owned[idx].store(false, std::memory_order_release);
             freelist.free(idx);
           }
           mine.clear();
@@ -94,7 +94,7 @@ TEST(FreeList, ConcurrentAllocFreeNeverDuplicates) {
       });
     }
   }
-  EXPECT_FALSE(failed.load()) << "free list handed a node to two owners";
+  EXPECT_FALSE(failed.load(std::memory_order_acquire)) << "free list handed a node to two owners";
   EXPECT_EQ(freelist.unsafe_size(), kNodes);
 }
 
@@ -124,52 +124,52 @@ TEST(FreeList, ExhaustionUnderContentionRecovers) {
 
 TEST(ValueCell, RoundTripsSmallTypes) {
   ValueCell<std::uint64_t> big;
-  big.store(0xDEADBEEFCAFEBABEull);
-  EXPECT_EQ(big.load(), 0xDEADBEEFCAFEBABEull);
+  big.put(0xDEADBEEFCAFEBABEull);
+  EXPECT_EQ(big.get(), 0xDEADBEEFCAFEBABEull);
 
   ValueCell<int> small;
-  small.store(-42);
-  EXPECT_EQ(small.load(), -42);
+  small.put(-42);
+  EXPECT_EQ(small.get(), -42);
 
   ValueCell<double> real;
-  real.store(3.25);
-  EXPECT_EQ(real.load(), 3.25);
+  real.put(3.25);
+  EXPECT_EQ(real.get(), 3.25);
 
   struct Pair {
     std::uint32_t a, b;
   };
   ValueCell<Pair> pair;
-  pair.store({7, 9});
-  EXPECT_EQ(pair.load().a, 7u);
-  EXPECT_EQ(pair.load().b, 9u);
+  pair.put({7, 9});
+  EXPECT_EQ(pair.get().a, 7u);
+  EXPECT_EQ(pair.get().b, 9u);
 }
 
 TEST(ValueCell, ConcurrentReadsDuringWritesAreWellDefined) {
   // The exact D11 situation: one thread overwrites while others read; every
   // read must observe some previously stored whole value, never a torn one.
   ValueCell<std::uint64_t> cell;
-  cell.store(0);
+  cell.put(0);
   std::atomic<bool> stop{false};
   std::atomic<bool> torn{false};
   {
     std::vector<std::jthread> threads;
     threads.emplace_back([&] {
       for (std::uint64_t i = 0; i < 100'000; ++i) {
-        cell.store((i & 0xFF) * 0x0101010101010101ull);  // all bytes equal
+        cell.put((i & 0xFF) * 0x0101010101010101ull);  // all bytes equal
       }
-      stop.store(true);
+      stop.store(true, std::memory_order_release);
     });
     for (int t = 0; t < 2; ++t) {
       threads.emplace_back([&] {
-        while (!stop.load()) {
-          const std::uint64_t v = cell.load();
+        while (!stop.load(std::memory_order_acquire)) {
+          const std::uint64_t v = cell.get();
           const std::uint64_t byte = v & 0xFF;
-          if (v != byte * 0x0101010101010101ull) torn.store(true);
+          if (v != byte * 0x0101010101010101ull) torn.store(true, std::memory_order_release);
         }
       });
     }
   }
-  EXPECT_FALSE(torn.load());
+  EXPECT_FALSE(torn.load(std::memory_order_acquire));
 }
 
 }  // namespace

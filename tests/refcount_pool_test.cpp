@@ -24,7 +24,7 @@ TEST(RefCountPool, AllocateHandsOutCountOne) {
   const std::uint32_t n = pool.try_allocate();
   ASSERT_NE(n, tagged::kNullIndex);
   // (count=1) << 1 | claim=0  ==  2
-  EXPECT_EQ(pool.node(n).rc.refct_claim.load(), 2u);
+  EXPECT_EQ(pool.node(n).rc.refct_claim.load(std::memory_order_acquire), 2u);
 }
 
 TEST(RefCountPool, ExhaustionReturnsNull) {
@@ -41,7 +41,7 @@ TEST(RefCountPool, ReleaseLastReferenceRecycles) {
   pool.release(n);
   EXPECT_EQ(pool.unsafe_free_count(), free_before + 1);
   // Claim bit set while parked in the free list.
-  EXPECT_EQ(pool.node(n).rc.refct_claim.load() & 1u, 1u);
+  EXPECT_EQ(pool.node(n).rc.refct_claim.load(std::memory_order_acquire) & 1u, 1u);
 }
 
 TEST(RefCountPool, AddReferenceDefersReclamation) {
@@ -49,7 +49,7 @@ TEST(RefCountPool, AddReferenceDefersReclamation) {
   const std::uint32_t n = pool.try_allocate();
   pool.add_reference(n);  // second holder
   pool.release(n);
-  EXPECT_EQ(pool.node(n).rc.refct_claim.load(), 2u);  // still one ref
+  EXPECT_EQ(pool.node(n).rc.refct_claim.load(std::memory_order_acquire), 2u);  // still one ref
   const std::size_t free_before = pool.unsafe_free_count();
   pool.release(n);
   EXPECT_EQ(pool.unsafe_free_count(), free_before + 1);
@@ -59,10 +59,10 @@ TEST(RefCountPool, SafeReadAcquiresReference) {
   RefCountPool<RcNode> pool(4);
   const std::uint32_t n = pool.try_allocate();
   tagged::AtomicTagged cell;
-  cell.store(tagged::TaggedIndex(n, 0));
+  cell.store(tagged::TaggedIndex(n, 0), std::memory_order_release);
   const std::uint32_t read = pool.safe_read(cell).index();
   EXPECT_EQ(read, n);
-  EXPECT_EQ(pool.node(n).rc.refct_claim.load(), 4u);  // two refs
+  EXPECT_EQ(pool.node(n).rc.refct_claim.load(std::memory_order_acquire), 4u);  // two refs
   pool.release(n);
   pool.release(n);
 }
@@ -81,11 +81,11 @@ TEST(RefCountPool, SafeReadRetriesWhenCellMoves) {
   RefCountPool<RcNode> pool(4);
   const std::uint32_t a = pool.try_allocate();
   tagged::AtomicTagged cell;
-  cell.store(tagged::TaggedIndex(a, 0));
+  cell.store(tagged::TaggedIndex(a, 0), std::memory_order_release);
   const std::uint32_t got = pool.safe_read(cell).index();
   EXPECT_EQ(got, a);
   pool.release(a);  // safe_read's reference
-  EXPECT_EQ(pool.node(a).rc.refct_claim.load(), 2u);
+  EXPECT_EQ(pool.node(a).rc.refct_claim.load(std::memory_order_acquire), 2u);
   pool.release(a);  // allocation reference
 }
 
@@ -96,9 +96,9 @@ TEST(RefCountPool, ReclaimReleasesOutgoingLinkCascade) {
   const std::uint32_t a = pool.try_allocate();
   const std::uint32_t b = pool.try_allocate();
   pool.add_reference(b);  // the link a->b
-  pool.node(a).rc.next.store(tagged::TaggedIndex(b, 0));
+  pool.node(a).rc.next.store(tagged::TaggedIndex(b, 0), std::memory_order_release);
   pool.release(b);  // drop our allocation ref; only the link keeps b alive
-  EXPECT_EQ(pool.node(b).rc.refct_claim.load(), 2u);
+  EXPECT_EQ(pool.node(b).rc.refct_claim.load(std::memory_order_acquire), 2u);
 
   const std::size_t free_before = pool.unsafe_free_count();
   pool.release(a);  // a dies -> link to b released -> b dies too
@@ -114,7 +114,7 @@ TEST(RefCountPool, PinnedNodePinsWholeSuffix) {
   for (std::uint32_t i = 0; i < 4; ++i) chain.push_back(pool.try_allocate());
   for (std::uint32_t i = 0; i + 1 < chain.size(); ++i) {
     pool.add_reference(chain[i + 1]);
-    pool.node(chain[i]).rc.next.store(tagged::TaggedIndex(chain[i + 1], 0));
+    pool.node(chain[i]).rc.next.store(tagged::TaggedIndex(chain[i + 1], 0), std::memory_order_release);
   }
   // A "delayed process" holds chain[0]; drop all allocation references.
   pool.add_reference(chain[0]);
@@ -157,7 +157,7 @@ TEST(RefCountPool, ConcurrentSafeReadVsRetarget) {
   tagged::AtomicTagged cell;
   const std::uint32_t first = pool.try_allocate();
   pool.add_reference(first);  // cell's link
-  cell.store(tagged::TaggedIndex(first, 0));
+  cell.store(tagged::TaggedIndex(first, 0), std::memory_order_release);
   pool.release(first);  // drop allocation ref; cell holds the node now
 
   std::atomic<bool> stop{false};
@@ -176,16 +176,16 @@ TEST(RefCountPool, ConcurrentSafeReadVsRetarget) {
         const std::uint32_t fresh = pool.try_allocate();
         if (fresh == tagged::kNullIndex) continue;
         pool.add_reference(fresh);  // the link the cell will hold
-        const tagged::TaggedIndex old = cell.load();
-        cell.store(tagged::TaggedIndex(fresh, old.count() + 1));
+        const tagged::TaggedIndex old = cell.load(std::memory_order_acquire);
+        cell.store(tagged::TaggedIndex(fresh, old.count() + 1), std::memory_order_release);
         if (!old.is_null()) pool.release(old.index());  // old link ref
         pool.release(fresh);  // allocation ref
       }
-      stop.store(true);
+      stop.store(true, std::memory_order_release);
     });
   }
   // Tear down: release the cell's final link.
-  const tagged::TaggedIndex last = cell.load();
+  const tagged::TaggedIndex last = cell.load(std::memory_order_acquire);
   if (!last.is_null()) pool.release(last.index());
   EXPECT_EQ(pool.unsafe_free_count(), 8u);
 }

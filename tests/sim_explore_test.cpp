@@ -115,7 +115,12 @@ std::uint64_t count_corrupt_schedules() {
       /*on_step=*/nullptr,
       [&](Engine&) { corrupt += world->corrupt() ? 1 : 0; });
   EXPECT_FALSE(result.budget_exhausted);
-  EXPECT_GT(result.schedules_run, 100u) << "schedule space suspiciously small";
+  // Degenerate preemption placements (those matching the round-robin
+  // choice) are skipped, not run; the covered space is run + skipped.
+  EXPECT_GT(result.schedules_run + result.schedules_skipped, 100u)
+      << "schedule space suspiciously small";
+  EXPECT_GT(result.schedules_skipped, 0u)
+      << "skip optimization should prune some degenerate placements";
   return corrupt;
 }
 
@@ -216,8 +221,13 @@ TEST_P(ExploreAllAlgos, InvariantsAndLinearizabilityOnEverySchedule) {
         ++completed;
       });
   EXPECT_FALSE(result.budget_exhausted);
-  EXPECT_GT(completed, 500u) << "schedule space suspiciously small";
-  if (non_blocking) EXPECT_EQ(blocked, 0u);
+  // run + skipped = the covered placement space (skips are degenerate
+  // placements that would replay an already-run schedule).
+  EXPECT_GT(completed + result.schedules_skipped, 500u)
+      << "schedule space suspiciously small";
+  if (non_blocking) {
+    EXPECT_EQ(blocked, 0u);
+  }
   // Note: round-robin-with-forced-switch schedules never PARK a process
   // permanently (the preempted process gets the CPU back), so even the
   // blocking algorithms usually complete here; `blocked` counts the

@@ -51,22 +51,22 @@ TEST(TaggedIndex, BitsRoundTrip) {
 
 TEST(AtomicTagged, LoadStoreRoundTrip) {
   AtomicTagged cell;
-  EXPECT_TRUE(cell.load().is_null());
-  cell.store(TaggedIndex(8, 2));
-  EXPECT_EQ(cell.load(), TaggedIndex(8, 2));
+  EXPECT_TRUE(cell.load(std::memory_order_acquire).is_null());
+  cell.store(TaggedIndex(8, 2), std::memory_order_release);
+  EXPECT_EQ(cell.load(std::memory_order_acquire), TaggedIndex(8, 2));
 }
 
 TEST(AtomicTagged, CasSucceedsOnExactMatch) {
   AtomicTagged cell{TaggedIndex(1, 1)};
-  EXPECT_TRUE(cell.compare_and_swap(TaggedIndex(1, 1), TaggedIndex(2, 2)));
-  EXPECT_EQ(cell.load(), TaggedIndex(2, 2));
+  EXPECT_TRUE(cell.compare_and_swap(TaggedIndex(1, 1), TaggedIndex(2, 2), std::memory_order_acq_rel));
+  EXPECT_EQ(cell.load(std::memory_order_acquire), TaggedIndex(2, 2));
 }
 
 TEST(AtomicTagged, CasFailsOnStaleCount) {
   // The ABA defence: same index, older count, must fail.
   AtomicTagged cell{TaggedIndex(1, 5)};
-  EXPECT_FALSE(cell.compare_and_swap(TaggedIndex(1, 4), TaggedIndex(2, 6)));
-  EXPECT_EQ(cell.load(), TaggedIndex(1, 5));
+  EXPECT_FALSE(cell.compare_and_swap(TaggedIndex(1, 4), TaggedIndex(2, 6), std::memory_order_acq_rel));
+  EXPECT_EQ(cell.load(std::memory_order_acquire), TaggedIndex(1, 5));
 }
 
 TEST(AtomicTagged, ConcurrentCasGrantsExactlyOneWinnerPerValue) {
@@ -79,8 +79,8 @@ TEST(AtomicTagged, ConcurrentCasGrantsExactlyOneWinnerPerValue) {
     threads.emplace_back([&] {
       for (int i = 0; i < kIncrements; ++i) {
         for (;;) {
-          const TaggedIndex cur = cell.load();
-          if (cell.compare_and_swap(cur, cur.successor(cur.index() + 1))) {
+          const TaggedIndex cur = cell.load(std::memory_order_acquire);
+          if (cell.compare_and_swap(cur, cur.successor(cur.index() + 1), std::memory_order_acq_rel)) {
             wins.fetch_add(1, std::memory_order_relaxed);
             break;
           }
@@ -89,10 +89,10 @@ TEST(AtomicTagged, ConcurrentCasGrantsExactlyOneWinnerPerValue) {
     });
   }
   threads.clear();
-  EXPECT_EQ(wins.load(), kThreads * kIncrements);
+  EXPECT_EQ(wins.load(std::memory_order_acquire), kThreads * kIncrements);
   // Every successful CAS bumped the counter exactly once.
-  EXPECT_EQ(cell.load().count(), static_cast<std::uint32_t>(kThreads * kIncrements));
-  EXPECT_EQ(cell.load().index(), static_cast<std::uint32_t>(kThreads * kIncrements));
+  EXPECT_EQ(cell.load(std::memory_order_acquire).count(), static_cast<std::uint32_t>(kThreads * kIncrements));
+  EXPECT_EQ(cell.load(std::memory_order_acquire).index(), static_cast<std::uint32_t>(kThreads * kIncrements));
 }
 
 struct Dummy {
@@ -116,18 +116,18 @@ TEST(CountedPtr, SuccessorBumpsCount) {
 TEST(AtomicCountedPtr, LoadStoreRoundTrip) {
   Dummy d{7};
   AtomicCountedPtr<Dummy> cell;
-  EXPECT_EQ(cell.load().ptr, nullptr);
-  cell.store({&d, 3});
-  EXPECT_EQ(cell.load().ptr, &d);
-  EXPECT_EQ(cell.load().count, 3u);
+  EXPECT_EQ(cell.load(std::memory_order_acquire).ptr, nullptr);
+  cell.store({&d, 3}, std::memory_order_release);
+  EXPECT_EQ(cell.load(std::memory_order_acquire).ptr, &d);
+  EXPECT_EQ(cell.load(std::memory_order_acquire).count, 3u);
 }
 
 TEST(AtomicCountedPtr, CasIsCountSensitive) {
   Dummy a{0}, b{1};
   AtomicCountedPtr<Dummy> cell{{&a, 10}};
-  EXPECT_FALSE(cell.compare_and_swap({&a, 9}, {&b, 10}));   // stale count
-  EXPECT_TRUE(cell.compare_and_swap({&a, 10}, {&b, 11}));
-  EXPECT_EQ(cell.load().ptr, &b);
+  EXPECT_FALSE(cell.compare_and_swap({&a, 9}, {&b, 10}, std::memory_order_acq_rel));   // stale count
+  EXPECT_TRUE(cell.compare_and_swap({&a, 10}, {&b, 11}, std::memory_order_acq_rel));
+  EXPECT_EQ(cell.load(std::memory_order_acquire).ptr, &b);
 }
 
 TEST(AtomicCountedPtr, ConcurrentCountMonotonicity) {
@@ -139,14 +139,14 @@ TEST(AtomicCountedPtr, ConcurrentCountMonotonicity) {
     threads.emplace_back([&] {
       for (int i = 0; i < kIncrements; ++i) {
         for (;;) {
-          const CountedPtr<Dummy> cur = cell.load();
-          if (cell.compare_and_swap(cur, cur.successor(cur.ptr))) break;
+          const CountedPtr<Dummy> cur = cell.load(std::memory_order_acquire);
+          if (cell.compare_and_swap(cur, cur.successor(cur.ptr), std::memory_order_acq_rel)) break;
         }
       }
     });
   }
   threads.clear();
-  EXPECT_EQ(cell.load().count, static_cast<std::uint64_t>(kThreads) * kIncrements);
+  EXPECT_EQ(cell.load(std::memory_order_acquire).count, static_cast<std::uint64_t>(kThreads) * kIncrements);
 }
 
 }  // namespace

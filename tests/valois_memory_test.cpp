@@ -96,7 +96,7 @@ TEST(ValoisMemory, ConcurrentPinnedReaderStillSafe) {
       });
     }
   }
-  EXPECT_GT(failures.load(), 0u) << "expected allocation failures while pinned";
+  EXPECT_GT(failures.load(std::memory_order_acquire), 0u) << "expected allocation failures while pinned";
   queue.pool().release(pinned);
   // Recovery: drain and run clean pairs.
   std::uint64_t out = 0;

@@ -1,0 +1,301 @@
+#!/usr/bin/env python3
+"""Atomics-discipline lint for the C++ sources (CI-enforced).
+
+Weak-memory bugs are invisible to review unless every ordering decision is
+explicit and justified at the site.  Four rules, over .hpp/.cpp files:
+
+1. explicit-order: calls to atomic operations (std::atomic methods and the
+   repo wrappers AtomicTagged/AtomicCountedPtr: load, store, exchange,
+   fetch_*, compare_exchange_*, compare_and_swap, test_and_set) must pass a
+   memory order -- an argument mentioning `memory_order` or a forwarded
+   parameter named `*order*`.  Implicit seq_cst is rejected: if seq_cst is
+   what you need, say so.  (The wrappers also take no defaults, so the
+   compiler co-enforces this; the lint catches raw std::atomic sites.)
+
+2. justified-relaxed: any `memory_order_relaxed` outside src/obs/ must
+   carry a `// relaxed: <why>` justification on the same line or one of the
+   two lines above.  src/obs/ is exempt wholesale: its one job is relaxed
+   counting, and the header comment carries the argument once.
+
+3. aligned-shared-atomics: a `std::atomic<...>`/`std::atomic_flag` member
+   or global declaration must be cache-line aligned -- `alignas(...)` on
+   the declaration, a `port::CacheAligned` wrapper at the use site, or an
+   explicit `// share-ok: <why>` waiver (e.g. node fields that are packed
+   by design, or fields padded as a group) on the same line or one of the
+   two lines above.
+
+4. no-volatile: `volatile` is banned -- it is not a synchronization
+   primitive in C++.  Inline assembly (`asm volatile`) is exempt.
+
+Known limits (by design, this is a grep-class linter, not a parser):
+operator sugar on atomics (`++x`, `x = v`) and `atomic_flag::clear()` are
+not caught -- the wrappers avoid the former and nothing uses the latter.
+
+Usage:
+    tools/atomics_lint.py [--self-test] [PATH ...]   (default PATH: src/)
+
+Exits non-zero iff violations (or self-test failures) are found.
+"""
+
+import os
+import re
+import sys
+
+ATOMIC_METHODS = (
+    "load", "store", "exchange", "fetch_add", "fetch_sub", "fetch_and",
+    "fetch_or", "fetch_xor", "compare_exchange_weak",
+    "compare_exchange_strong", "compare_and_swap", "test_and_set",
+)
+
+CALL_RE = re.compile(r"[.>](" + "|".join(ATOMIC_METHODS) + r")\s*\(")
+RELAXED_RE = re.compile(r"memory_order_relaxed|memory_order::relaxed")
+ATOMIC_DECL_RE = re.compile(
+    r"^\s*(?:mutable\s+)?(?:static\s+)?(?:inline\s+)?(?:alignas\s*\([^)]*\)\s*)?"
+    r"(?:std::)?atomic(?:_flag\b|\s*<)")
+VOLATILE_RE = re.compile(r"\bvolatile\b")
+ASM_RE = re.compile(r"\basm\b|__asm__")
+ORDER_TOKEN_RE = re.compile(r"memory_order|[A-Za-z_]*order[A-Za-z_]*")
+
+
+class Violation:
+    def __init__(self, path, line_no, rule, message):
+        self.path = path
+        self.line_no = line_no
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line_no}: [{self.rule}] {self.message}"
+
+
+def strip_comment(line):
+    """Drop a // comment (naive about string literals -- fine for this code)."""
+    idx = line.find("//")
+    return line if idx < 0 else line[:idx]
+
+
+def extract_call_args(text, open_paren_idx):
+    """Return the balanced-paren argument text starting at `(`, or None if
+    the call is unterminated (runs past the scanned window)."""
+    depth = 0
+    for i in range(open_paren_idx, len(text)):
+        c = text[i]
+        if c == "(":
+            depth += 1
+        elif c == ")":
+            depth -= 1
+            if depth == 0:
+                return text[open_paren_idx + 1:i]
+    return None
+
+
+def has_order_token(args):
+    if "memory_order" in args:
+        return True
+    # A forwarded parameter: an identifier containing "order" (wrapper
+    # definitions forward `order` / `success_order` etc.).
+    return any("order" in m.group(0)
+               for m in re.finditer(r"[A-Za-z_][A-Za-z0-9_]*", args))
+
+
+def check_explicit_order(path, lines, out):
+    # Scan with a joined window so multi-line calls resolve.
+    text = "\n".join(strip_comment(l) for l in lines)
+    line_starts = []
+    pos = 0
+    for l in lines:
+        line_starts.append(pos)
+        pos += len(strip_comment(l)) + 1
+
+    def line_of(offset):
+        lo = 0
+        for i, start in enumerate(line_starts):
+            if start <= offset:
+                lo = i
+        return lo + 1
+
+    for m in CALL_RE.finditer(text):
+        method = m.group(1)
+        args = extract_call_args(text, m.end() - 1)
+        if args is None:
+            continue  # unterminated within file: not a call we understand
+        if method in ("load", "store") and looks_like_container(text, m.start()):
+            continue
+        if not has_order_token(args):
+            out.append(Violation(
+                path, line_of(m.start()), "explicit-order",
+                f"atomic {method}() without an explicit memory order "
+                f"(implicit seq_cst is banned; spell the order out)"))
+
+
+def looks_like_container(text, call_start):
+    """Heuristic escape hatch: `.load(`/`.store(` on objects that are
+    clearly not atomics (e.g. an istream).  The repo's own non-atomic value
+    slots use put()/get() precisely so this never fires; keep the hook for
+    future third-party types."""
+    del text, call_start
+    return False
+
+
+def check_relaxed_justified(path, lines, out):
+    if f"{os.sep}obs{os.sep}" in path or "/obs/" in path.replace(os.sep, "/"):
+        return
+    for i, line in enumerate(lines):
+        if not RELAXED_RE.search(strip_comment(line)):
+            continue
+        window = lines[max(0, i - 2):i + 1]
+        if not any("// relaxed:" in w for w in window):
+            out.append(Violation(
+                path, i + 1, "justified-relaxed",
+                "memory_order_relaxed without a `// relaxed: <why>` "
+                "justification on this or the two preceding lines"))
+
+
+def check_aligned_atomics(path, lines, out):
+    for i, line in enumerate(lines):
+        code = strip_comment(line)
+        if not ATOMIC_DECL_RE.search(code):
+            continue
+        # Declarations only: skip using/typedef/template-parameter lines.
+        if re.search(r"\busing\b|\btypedef\b|\btemplate\b", code):
+            continue
+        window_text = "".join(lines[max(0, i - 2):i + 1])
+        if "alignas" in code or "CacheAligned" in window_text \
+                or "// share-ok:" in window_text:
+            continue
+        out.append(Violation(
+            path, i + 1, "aligned-shared-atomics",
+            "atomic member without cache-line alignment: add alignas / "
+            "port::CacheAligned, or waive with `// share-ok: <why>`"))
+
+
+def check_no_volatile(path, lines, out):
+    for i, line in enumerate(lines):
+        code = strip_comment(line)
+        if VOLATILE_RE.search(code) and not ASM_RE.search(code):
+            out.append(Violation(
+                path, i + 1, "no-volatile",
+                "volatile is not a synchronization primitive; use "
+                "std::atomic with an explicit order"))
+
+
+def lint_file(path):
+    try:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        return [Violation(path, 0, "io", str(e))]
+    out = []
+    check_explicit_order(path, lines, out)
+    check_relaxed_justified(path, lines, out)
+    check_aligned_atomics(path, lines, out)
+    check_no_volatile(path, lines, out)
+    return out
+
+
+def iter_sources(paths):
+    for p in paths:
+        if os.path.isfile(p):
+            yield p
+            continue
+        for root, dirs, files in os.walk(p):
+            dirs[:] = [d for d in dirs if d not in ("build", ".git")]
+            for name in sorted(files):
+                if name.endswith((".hpp", ".cpp", ".h", ".cc")):
+                    yield os.path.join(root, name)
+
+
+# --- self-test ---------------------------------------------------------------
+
+GOOD_SNIPPET = """
+#include <atomic>
+struct Ok {
+  // relaxed: monotone counter, read only after join
+  void hit() { n_.fetch_add(1, std::memory_order_relaxed); }
+  bool claim(bool e) {
+    return b_.compare_exchange_strong(e, true, std::memory_order_acq_rel,
+                                      std::memory_order_acquire);
+  }
+  int peek() const { return n_.load(std::memory_order_acquire); }
+  alignas(64) std::atomic<int> n_{0};
+  // share-ok: padded as a group with n_ above
+  std::atomic<bool> b_{false};
+};
+static inline void pause() { asm volatile("pause"); }
+"""
+
+BAD_SNIPPETS = {
+    "explicit-order": """
+#include <atomic>
+std::atomic<int> g{0};  // share-ok: self-test fixture
+int implicit_seq_cst() { return g.load(); }
+""",
+    "justified-relaxed": """
+#include <atomic>
+alignas(64) std::atomic<int> g{0};
+int bare_relaxed() { return g.load(std::memory_order_relaxed); }
+""",
+    "aligned-shared-atomics": """
+#include <atomic>
+struct Shared {
+  std::atomic<int> hot{0};
+};
+int f(Shared& s) { return s.hot.load(std::memory_order_acquire); }
+""",
+    "no-volatile": """
+volatile int spin_flag = 0;
+""",
+}
+
+
+def lint_text(name, text):
+    out = []
+    lines = text.splitlines()
+    check_explicit_order(name, lines, out)
+    check_relaxed_justified(name, lines, out)
+    check_aligned_atomics(name, lines, out)
+    check_no_volatile(name, lines, out)
+    return out
+
+
+def self_test():
+    failures = []
+    good = lint_text("good.hpp", GOOD_SNIPPET)
+    if good:
+        failures.append("clean snippet flagged: " +
+                        "; ".join(str(v) for v in good))
+    for rule, snippet in BAD_SNIPPETS.items():
+        got = lint_text(f"bad_{rule}.hpp", snippet)
+        if not any(v.rule == rule for v in got):
+            failures.append(f"seeded {rule} violation NOT detected")
+        unexpected = [v for v in got if v.rule != rule]
+        if unexpected:
+            failures.append(f"bad_{rule} also tripped: " +
+                            "; ".join(str(v) for v in unexpected))
+    for f in failures:
+        print(f"self-test FAIL: {f}", file=sys.stderr)
+    if not failures:
+        print("self-test ok: clean snippet passes, all 4 seeded "
+              "violations detected")
+    return 1 if failures else 0
+
+
+def main(argv):
+    args = argv[1:]
+    if "--self-test" in args:
+        return self_test()
+    paths = args or ["src"]
+    violations = []
+    n_files = 0
+    for path in iter_sources(paths):
+        n_files += 1
+        violations += lint_file(path)
+    for v in violations:
+        print(f"error: {v}", file=sys.stderr)
+    if not violations:
+        print(f"ok: {n_files} file(s) pass the atomics lint")
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -31,6 +31,7 @@ import sys
 COUNTER_NAMES = [
     "enqueue", "dequeue", "dequeue_empty", "cas_attempt", "cas_fail",
     "backoff_wait", "lock_acquire", "lock_spin", "pool_get", "pool_refuse",
+    "explore_run", "explore_skip", "race_report",
 ]
 
 TOP_KEYS = {

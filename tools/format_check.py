@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Mechanical formatting gate for C++, CMake, Python, and YAML sources.
+
+The repo ships a .clang-format for editors, but CI containers are not
+guaranteed a clang-format binary (and pinning one is its own hazard:
+different majors disagree about the same style file, so a version bump
+reformats the world).  This script enforces the subset of formatting that
+is unambiguous across tools and catches the errors that actually creep
+into review diffs:
+
+  * trailing whitespace
+  * hard tabs in C++/Python sources (Makefiles and .gitmodules excepted
+    by simply not being checked)
+  * CRLF line endings
+  * missing newline at end of file
+  * more than one blank line at end of file
+
+Deliberately NOT enforced: line length, brace placement, indent width --
+those are .clang-format's job and a human reviewer's eye; half-enforcing
+them mechanically with a weaker tool would fight the real formatter.
+
+Usage:
+  python3 tools/format_check.py [paths...]      # check (default: repo dirs)
+  python3 tools/format_check.py --fix [paths]   # rewrite files in place
+Exit status: 0 clean, 1 violations found (or fixed with --fix).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+CHECKED_SUFFIXES = {
+    ".cpp", ".hpp", ".cc", ".h", ".py", ".cmake", ".yml", ".yaml",
+    ".md", ".txt",
+}
+CHECKED_NAMES = {"CMakeLists.txt"}
+# Tabs are conventional in some ecosystems; only flag them where the
+# repo style is unambiguous (C++ and Python).
+TAB_SUFFIXES = {".cpp", ".hpp", ".cc", ".h", ".py"}
+DEFAULT_ROOTS = ["src", "tests", "bench", "examples", "tools", "docs"]
+
+
+def discover(paths: list[str]) -> list[Path]:
+    files: list[Path] = []
+    for raw in paths:
+        p = Path(raw)
+        if p.is_file():
+            files.append(p)
+            continue
+        for f in sorted(p.rglob("*")):
+            if not f.is_file():
+                continue
+            if f.suffix in CHECKED_SUFFIXES or f.name in CHECKED_NAMES:
+                files.append(f)
+    return files
+
+
+def check_file(path: Path, fix: bool) -> list[str]:
+    """Returns human-readable violations; rewrites the file when fix=True."""
+    try:
+        raw = path.read_bytes()
+    except OSError as err:
+        return [f"{path}: unreadable ({err})"]
+    if not raw:
+        return []
+    problems: list[str] = []
+    text = raw.decode("utf-8", errors="replace")
+
+    if "\r" in text:
+        problems.append(f"{path}: CRLF line ending")
+        text = text.replace("\r\n", "\n").replace("\r", "\n")
+
+    lines = text.split("\n")
+    flag_tabs = path.suffix in TAB_SUFFIXES
+    for i, line in enumerate(lines, start=1):
+        if line != line.rstrip():
+            problems.append(f"{path}:{i}: trailing whitespace")
+        if flag_tabs and "\t" in line:
+            problems.append(f"{path}:{i}: hard tab")
+    lines = [ln.rstrip() for ln in lines]
+
+    body = "\n".join(lines)
+    fixed = body.rstrip("\n") + "\n"
+    if not text.endswith("\n"):
+        problems.append(f"{path}: no newline at end of file")
+    elif body != fixed:
+        problems.append(f"{path}: extra blank line(s) at end of file")
+
+    if fix and problems:
+        path.write_bytes(fixed.encode("utf-8"))
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("paths", nargs="*", default=DEFAULT_ROOTS)
+    parser.add_argument("--fix", action="store_true",
+                        help="rewrite files in place instead of reporting")
+    args = parser.parse_args(argv)
+
+    files = discover(args.paths or DEFAULT_ROOTS)
+    if not files:
+        print("format_check: no files found", file=sys.stderr)
+        return 1
+
+    all_problems: list[str] = []
+    for f in files:
+        all_problems.extend(check_file(f, args.fix))
+
+    if all_problems:
+        verb = "fixed" if args.fix else "found"
+        for p in all_problems:
+            print(p)
+        print(f"format_check: {len(all_problems)} violation(s) {verb} "
+              f"in {len(files)} file(s)")
+        return 1
+    print(f"ok: {len(files)} file(s) pass the format check")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
