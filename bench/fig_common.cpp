@@ -34,15 +34,32 @@ struct SweepSeries {
   std::vector<SweepPoint> points;
 };
 
+/// The real-thread sweep runs every simulated algorithm PLUS the
+/// FAA-segment queue, which has no simulator model (its fetch_add ticket
+/// discipline is exactly what the real hardware benchmark exists to show).
+constexpr std::size_t kRealExtraAlgos = 1;
+
+std::size_t real_algo_count() {
+  return std::size(sim::kAllAlgos) + kRealExtraAlgos;
+}
+
+std::string real_algo_name(std::size_t algo) {
+  if (algo < std::size(sim::kAllAlgos)) {
+    return sim::algo_name(sim::kAllAlgos[algo]);
+  }
+  return "segq";
+}
+
 /// Real-thread sweep point: run the paper's loop on the actual std::atomic
 /// implementations.  On this one-core host all p > 1 runs are inherently
 /// multiprogrammed; the numbers are reported for completeness next to the
 /// simulator's dedicated-machine curves.
 harness::WorkloadResult real_run(std::size_t algo, std::uint32_t threads,
-                                 std::uint64_t pairs) {
+                                 std::uint64_t pairs, bool pin) {
   harness::WorkloadConfig config;
   config.threads = threads;
   config.total_pairs = pairs;
+  config.pin_threads = pin;
   config.other_work_iters = harness::spin_iters_for_us(6.0);  // paper: ~6us
   const std::uint32_t capacity = threads * 4 + 64;
   switch (algo) {
@@ -66,8 +83,12 @@ harness::WorkloadResult real_run(std::size_t algo, std::uint32_t threads,
       queues::PljQueue<std::uint64_t> q(capacity);
       return harness::run_workload(q, config);
     }
-    default: {
+    case 5: {
       queues::MsQueue<std::uint64_t> q(capacity);
+      return harness::run_workload(q, config);
+    }
+    default: {
+      queues::SegmentQueue<std::uint64_t> q(capacity);
       return harness::run_workload(q, config);
     }
   }
@@ -76,7 +97,8 @@ harness::WorkloadResult real_run(std::size_t algo, std::uint32_t threads,
 /// Companion tables for --json runs: the counters the paper's analysis
 /// talks about, normalised per operation (contention made visible).
 void print_counter_tables(const FigConfig& config,
-                          const std::vector<SweepSeries>& series) {
+                          const std::vector<SweepSeries>& series,
+                          const char* source_label) {
   const struct {
     obs::Counter counter;
     const char* title;
@@ -86,8 +108,8 @@ void print_counter_tables(const FigConfig& config,
       {obs::Counter::kBackoffWait, "backoff wait units per operation"},
   };
   for (const auto& spec : kTables) {
-    harness::SeriesTable table(std::string(spec.title) + "  [simulated]",
-                               "procs");
+    harness::SeriesTable table(
+        std::string(spec.title) + "  [" + source_label + "]", "procs");
     std::vector<std::size_t> cols;
     cols.reserve(series.size());
     for (const SweepSeries& s : series) cols.push_back(table.add_series(s.algo));
@@ -192,14 +214,16 @@ bool parse_args(int argc, char** argv, FigConfig& config) {
       config.seed = v;
     } else if (std::strcmp(arg, "--real") == 0) {
       config.also_real = true;
+    } else if (std::strcmp(arg, "--pin") == 0) {
+      config.pin = true;
     } else if (std::strcmp(arg, "--csv") == 0) {
       config.csv = true;
     } else if (std::strcmp(arg, "--json") == 0) {
       config.json = true;
     } else {
       std::cerr << "usage: " << argv[0]
-                << " [--pairs N] [--max-procs P] [--seed S] [--real] [--csv]"
-                   " [--json]\n";
+                << " [--pairs N] [--max-procs P] [--seed S] [--real] [--pin]"
+                   " [--csv] [--json]\n";
       return false;
     }
   }
@@ -260,7 +284,7 @@ void run_figure(const FigConfig& config) {
   } else {
     table.print(std::cout);
   }
-  if (config.json) print_counter_tables(config, sim_series);
+  if (config.json) print_counter_tables(config, sim_series, "simulated");
 
   std::vector<SweepSeries> all_series = sim_series;
 
@@ -268,24 +292,25 @@ void run_figure(const FigConfig& config) {
     harness::SeriesTable real_table(
         config.title + "  [real threads on this host (" +
             std::to_string(std::thread::hardware_concurrency()) +
-            " hardware core(s), oversubscribed => multiprogrammed); "
-            "net seconds per 10^6 pairs]",
+            " hardware core(s), oversubscribed => multiprogrammed" +
+            (config.pin ? "; pinned" : "") +
+            "); net seconds per 10^6 pairs]",
         "threads");
     std::vector<std::size_t> real_cols;
-    std::vector<SweepSeries> real_series(std::size(sim::kAllAlgos));
-    for (std::size_t a = 0; a < std::size(sim::kAllAlgos); ++a) {
-      real_cols.push_back(real_table.add_series(sim::algo_name(sim::kAllAlgos[a])));
-      real_series[a].algo = sim::algo_name(sim::kAllAlgos[a]);
+    std::vector<SweepSeries> real_series(real_algo_count());
+    for (std::size_t a = 0; a < real_algo_count(); ++a) {
+      real_cols.push_back(real_table.add_series(real_algo_name(a)));
+      real_series[a].algo = real_algo_name(a);
       real_series[a].source = "real";
     }
     const double scale = 1e6 / static_cast<double>(config.pairs);
     for (std::uint32_t procs = 1; procs <= config.max_procs; ++procs) {
       const std::uint32_t threads = procs * config.procs_per_processor;
       real_table.add_row(procs);
-      for (std::size_t a = 0; a < std::size(sim::kAllAlgos); ++a) {
+      for (std::size_t a = 0; a < real_algo_count(); ++a) {
         const obs::Snapshot before = obs::snapshot();
         const harness::WorkloadResult result =
-            real_run(a, threads, config.pairs);
+            real_run(a, threads, config.pairs, config.pin);
         real_table.set(real_cols[a], result.net_seconds * scale);
 
         SweepPoint point;
@@ -304,6 +329,7 @@ void run_figure(const FigConfig& config) {
     } else {
       real_table.print(std::cout);
     }
+    if (config.json) print_counter_tables(config, real_series, "real");
     all_series.insert(all_series.end(), real_series.begin(), real_series.end());
   }
 

@@ -8,7 +8,11 @@
 //                  the paper uses 10^6 -- pass --pairs 1000000 to match)
 //   --max-procs P  sweep 1..P processors                 (default 12)
 //   --real         ALSO run the real-thread harness (multiprogrammed on
-//                  this host; reported separately)
+//                  this host; reported separately).  The real sweep adds a
+//                  "segq" series (FAA-segment queue; no simulator model)
+//   --pin          pin real-harness worker t to CPU t mod hw cores (Linux
+//                  only; a no-op elsewhere).  Leave off for the Figure 4/5
+//                  multiprogrammed runs, which rely on preemption
 //   --csv          emit CSV instead of the aligned table
 //   --seed S       simulator seed
 //   --json         ALSO write the sweep (throughput + per-op observability
@@ -28,6 +32,7 @@ struct FigConfig {
   std::uint64_t pairs = 100'000;
   std::uint32_t max_procs = 12;
   bool also_real = false;
+  bool pin = false;  // --pin: CPU-affinity for the real-thread sweep
   bool csv = false;
   bool json = false;              // --json: emit machine-readable output
   std::string json_path = "BENCH_fig.json";  // overridden by each bench main

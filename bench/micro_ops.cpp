@@ -23,6 +23,7 @@ using msq::queues::MsQueueDw;
 using msq::queues::MsQueueHp;
 using msq::queues::PljQueue;
 using msq::queues::RingQueue;
+using msq::queues::SegmentQueue;
 using msq::queues::SingleLockQueue;
 using msq::queues::SpscRing;
 using msq::queues::TreiberStack;
@@ -63,6 +64,7 @@ BENCHMARK_TEMPLATE(BM_UncontendedPair, MellorCrummeyQueue<std::uint64_t>);
 BENCHMARK_TEMPLATE(BM_UncontendedPair, RingQueue<std::uint64_t>);
 BENCHMARK_TEMPLATE(BM_UncontendedPair, PljQueue<std::uint64_t>);
 BENCHMARK_TEMPLATE(BM_UncontendedPair, ValoisQueue<std::uint64_t>);
+BENCHMARK_TEMPLATE(BM_UncontendedPair, SegmentQueue<std::uint64_t>);
 BENCHMARK_TEMPLATE(BM_UncontendedPair, FunctionShippingQueue<std::uint64_t>);
 
 // --- contended pair throughput ----------------------------------------------
@@ -91,6 +93,7 @@ BENCHMARK_TEMPLATE(BM_ContendedPairs, MellorCrummeyQueue<std::uint64_t>)->Thread
 BENCHMARK_TEMPLATE(BM_ContendedPairs, RingQueue<std::uint64_t>)->Threads(4)->UseRealTime();
 BENCHMARK_TEMPLATE(BM_ContendedPairs, PljQueue<std::uint64_t>)->Threads(4)->UseRealTime();
 BENCHMARK_TEMPLATE(BM_ContendedPairs, ValoisQueue<std::uint64_t>)->Threads(4)->UseRealTime();
+BENCHMARK_TEMPLATE(BM_ContendedPairs, SegmentQueue<std::uint64_t>)->Threads(4)->UseRealTime();
 BENCHMARK_TEMPLATE(BM_ContendedPairs, FunctionShippingQueue<std::uint64_t>)->Threads(4)->UseRealTime();
 
 // --- A5: empty<->nonempty transition ----------------------------------------
@@ -112,6 +115,7 @@ BENCHMARK_TEMPLATE(BM_EmptyTransition, MellorCrummeyQueue<std::uint64_t>);
 BENCHMARK_TEMPLATE(BM_EmptyTransition, RingQueue<std::uint64_t>);
 BENCHMARK_TEMPLATE(BM_EmptyTransition, PljQueue<std::uint64_t>);
 BENCHMARK_TEMPLATE(BM_EmptyTransition, ValoisQueue<std::uint64_t>);
+BENCHMARK_TEMPLATE(BM_EmptyTransition, SegmentQueue<std::uint64_t>);
 
 // --- related structures -------------------------------------------------------
 

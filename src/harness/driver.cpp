@@ -2,11 +2,31 @@
 
 #include <map>
 #include <mutex>
+#include <thread>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
 
 #include "port/clock.hpp"
 #include "port/spin_work.hpp"
 
 namespace msq::harness {
+
+bool pin_current_thread(std::uint32_t cpu) noexcept {
+#if defined(__linux__)
+  const unsigned cores = std::thread::hardware_concurrency();
+  if (cores == 0) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<int>(cpu % cores), &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)cpu;
+  return false;
+#endif
+}
 
 double other_work_seconds(std::uint64_t iters_per_spin, double pairs) {
   if (iters_per_spin == 0) return 0;

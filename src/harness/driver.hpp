@@ -39,6 +39,10 @@ struct WorkloadConfig {
   std::uint64_t other_work_iters = 0;     // spin between ops (see calibrate)
   bool record_history = false;            // per-op timestamps + event logs
   bool record_latency = false;            // per-op ns histograms (obs)
+  /// Pin worker t to CPU (t mod hardware_concurrency).  Dedicated-mode
+  /// benches stop migrating between cores mid-run; multiprogrammed runs
+  /// (threads > cores) keep it off so the scheduler can do its job.
+  bool pin_threads = false;
   /// Deadline for the whole parallel phase; 0 = no watchdog.  A wedged run
   /// (deadlock, livelock, a faulted thread that never comes back) aborts
   /// loudly with the workload name instead of hanging the caller forever.
@@ -61,6 +65,12 @@ struct WorkloadResult {
 /// "other work" spins (measured, memoised per iteration count).
 [[nodiscard]] double other_work_seconds(std::uint64_t iters_per_spin,
                                         double pairs);
+
+/// Pin the calling thread to `cpu` (mod the online CPU count).  Returns
+/// false (and leaves affinity untouched) on platforms without
+/// pthread_setaffinity_np or when the syscall is refused -- pinning is an
+/// optimisation, never a correctness requirement.
+bool pin_current_thread(std::uint32_t cpu) noexcept;
 
 /// Run the paper's loop against `queue`.  The queue must hold std::uint64_t
 /// values (the harness encodes producer/sequence in them).
@@ -96,6 +106,7 @@ WorkloadResult run_workload(Q& queue, const WorkloadConfig& config) {
     const bool timed = config.record_history || config.record_latency;
 
     std::uint64_t local_enq = 0, local_deq = 0, local_empty = 0, local_fail = 0;
+    if (config.pin_threads) pin_current_thread(thread_id);
     start_barrier.arrive_and_wait();
 
     for (std::uint64_t i = 0; i < pairs; ++i) {

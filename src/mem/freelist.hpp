@@ -14,6 +14,7 @@
 
 #include "mem/node_pool.hpp"
 #include "obs/counters.hpp"
+#include "port/cpu.hpp"
 #include "tagged/atomic_tagged.hpp"
 #include "tagged/tagged_index.hpp"
 
@@ -47,12 +48,54 @@ class FreeList {
         MSQ_COUNT(kPoolGet);
         return top.index();
       }
+      MSQ_COUNT(kPoolCasRetry);
+    }
+  }
+
+  /// Pop up to `max` node indices with ONE successful CAS on the shared top
+  /// (the magazine refill path).  Returns the number written into `out`.
+  ///
+  /// Safety of the prefix walk: nodes deeper in the stack can only be popped
+  /// after the top node is, and every pop or push moves `top_` -- so if the
+  /// final counted CAS succeeds, the prefix we walked was never touched.
+  [[nodiscard]] std::uint32_t try_allocate_batch(std::uint32_t* out,
+                                                std::uint32_t max) noexcept {
+    for (;;) {
+      const tagged::TaggedIndex top = top_.load(std::memory_order_acquire);
+      if (top.is_null()) {
+        MSQ_COUNT(kPoolRefuse);
+        return 0;
+      }
+      std::uint32_t n = 0;
+      tagged::TaggedIndex it = top;
+      while (n < max && !it.is_null()) {
+        out[n++] = it.index();
+        it = pool_[it.index()].next.load(std::memory_order_acquire);
+      }
+      if (top_.compare_and_swap(top, top.successor(it.index()), std::memory_order_acq_rel)) {
+        MSQ_COUNT_N(kPoolGet, n);
+        return n;
+      }
+      MSQ_COUNT(kPoolCasRetry);
     }
   }
 
   /// Push a node back.  The node must have come from this pool and must not
   /// be reachable from any shared structure.
   void free(std::uint32_t index) noexcept { push(index); }
+
+  /// Push a pre-linked chain (head -> ... -> tail through the nodes' `next`
+  /// fields, tail's next ignored) with ONE successful CAS -- the magazine
+  /// flush path.  The chain must be private to the caller.
+  void free_chain(std::uint32_t head, std::uint32_t tail) noexcept {
+    for (;;) {
+      const tagged::TaggedIndex top = top_.load(std::memory_order_acquire);
+      pool_[tail].next.store(tagged::TaggedIndex(top.index(), 0),
+                             std::memory_order_release);
+      if (top_.compare_and_swap(top, top.successor(head), std::memory_order_acq_rel)) return;
+      MSQ_COUNT(kPoolCasRetry);
+    }
+  }
 
   /// Number of nodes currently in the free list.  O(n); for tests and the
   /// memory-exhaustion experiment only -- the count is naturally racy.
@@ -73,11 +116,30 @@ class FreeList {
       // here, so a plain store is enough.
       pool_[index].next.store(tagged::TaggedIndex(top.index(), 0), std::memory_order_release);
       if (top_.compare_and_swap(top, top.successor(index), std::memory_order_acq_rel)) return;
+      MSQ_COUNT(kPoolCasRetry);
     }
   }
 
   NodePool<Node>& pool_;
-  tagged::AtomicTagged top_;
+  // The hottest word of every pool-backed queue; on its own cache line so
+  // allocator traffic never false-shares with the pool reference above.
+  alignas(port::kCacheLine) tagged::AtomicTagged top_;
 };
+
+namespace detail {
+struct FreeListLayoutProbe {
+  tagged::AtomicTagged next;
+};
+}  // namespace detail
+// False-sharing audit: the member alignas must propagate to the whole
+// struct (so `top_` starts a fresh line) and pad the tail (so whatever is
+// allocated after a FreeList cannot share top_'s line).
+static_assert(alignof(FreeList<detail::FreeListLayoutProbe>) >=
+                  port::kCacheLine,
+              "free-list top must start a cache line of its own");
+static_assert(sizeof(FreeList<detail::FreeListLayoutProbe>) %
+                      port::kCacheLine ==
+                  0,
+              "free-list top's cache line must not leak into a neighbour");
 
 }  // namespace msq::mem

@@ -63,16 +63,22 @@ enum class Counter : std::uint32_t {
   kExploreRun,    // schedules actually executed by the sim explorers
   kExploreSkip,   // degenerate schedules skipped (identical to one already run)
   kRaceReport,    // happens-before violations reported by the race detector
+  kPoolCasRetry,  // failed CASes on the global free-list top (contention cost)
+  kSegClose,      // segment-queue segments closed and appended (amortised CAS)
+  kMagHit,        // allocations served from a thread-local magazine
+  kMagRefill,     // magazine refills from the global free list (batch pops)
+  kMagFlush,      // magazine flushes back to the free list (batch pushes)
 };
 
-inline constexpr std::size_t kCounterCount = 13;
+inline constexpr std::size_t kCounterCount = 18;
 
 inline constexpr std::array<Counter, kCounterCount> kAllCounters = {
-    Counter::kEnqueue,     Counter::kDequeue,    Counter::kDequeueEmpty,
-    Counter::kCasAttempt,  Counter::kCasFail,    Counter::kBackoffWait,
-    Counter::kLockAcquire, Counter::kLockSpin,   Counter::kPoolGet,
-    Counter::kPoolRefuse,  Counter::kExploreRun, Counter::kExploreSkip,
-    Counter::kRaceReport};
+    Counter::kEnqueue,      Counter::kDequeue,    Counter::kDequeueEmpty,
+    Counter::kCasAttempt,   Counter::kCasFail,    Counter::kBackoffWait,
+    Counter::kLockAcquire,  Counter::kLockSpin,   Counter::kPoolGet,
+    Counter::kPoolRefuse,   Counter::kExploreRun, Counter::kExploreSkip,
+    Counter::kRaceReport,   Counter::kPoolCasRetry, Counter::kSegClose,
+    Counter::kMagHit,       Counter::kMagRefill,  Counter::kMagFlush};
 
 [[nodiscard]] constexpr const char* counter_name(Counter c) noexcept {
   switch (c) {
@@ -89,6 +95,11 @@ inline constexpr std::array<Counter, kCounterCount> kAllCounters = {
     case Counter::kExploreRun:   return "explore_run";
     case Counter::kExploreSkip:  return "explore_skip";
     case Counter::kRaceReport:   return "race_report";
+    case Counter::kPoolCasRetry: return "pool_cas_retry";
+    case Counter::kSegClose:     return "seg_close";
+    case Counter::kMagHit:       return "mag_hit";
+    case Counter::kMagRefill:    return "mag_refill";
+    case Counter::kMagFlush:     return "mag_flush";
   }
   return "?";
 }

@@ -31,8 +31,12 @@ namespace msq::queues {
 
 /// Lock-free MPMC FIFO queue.  `T` must be trivially copyable and at most
 /// 8 bytes (see mem/value_cell.hpp).  `BackoffPolicy` is applied after a
-/// failed CAS (sync::NullBackoff disables it for the ablation).
-template <typename T, typename BackoffPolicy = sync::Backoff>
+/// failed CAS (sync::NullBackoff disables it for the ablation).  `Alloc`
+/// selects the node allocator: the paper's plain Treiber free list by
+/// default, or mem::MagazineAllocator for the magazine ablation
+/// (bench/ablate_magazine.cpp) -- same pool, batched refills/flushes.
+template <typename T, typename BackoffPolicy = sync::Backoff,
+          template <typename> class Alloc = mem::FreeList>
 class MsQueue {
  public:
   using value_type = T;
@@ -149,7 +153,7 @@ class MsQueue {
   };
 
   mem::NodePool<Node> pool_;
-  mem::FreeList<Node> freelist_;
+  Alloc<Node> freelist_;
   // Head and Tail on separate cache lines: dequeuers and enqueuers must not
   // false-share (the two-lock queue's design rationale applies here too).
   port::CacheAligned<tagged::AtomicTagged> head_;

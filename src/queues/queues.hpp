@@ -14,6 +14,7 @@
 //     TreiberStack  -- the non-blocking LIFO used as the free list
 //     MsQueueHp     -- MS queue with hazard-pointer reclamation (2004)
 //     RingQueue     -- ticketed bounded MPMC ring (Vyukov-style, modern)
+//     SegmentQueue  -- unbounded FAA-segment queue (LCRQ/SCQ lineage)
 #pragma once
 
 #include "queues/mellor_crummey_queue.hpp"
@@ -24,6 +25,7 @@
 #include "queues/plj_queue.hpp"
 #include "queues/queue_concept.hpp"
 #include "queues/ring_queue.hpp"
+#include "queues/segment_queue.hpp"
 #include "queues/single_lock_queue.hpp"
 #include "queues/spsc_ring.hpp"
 #include "queues/treiber_stack.hpp"

@@ -30,11 +30,13 @@ enum class Kind {
   kRing,
   kPlj,
   kValois,
+  kSeg,
 };
 
 constexpr Kind kAllKinds[] = {Kind::kMs,   Kind::kMsDw,       Kind::kMsHp,
                               Kind::kTwoLock, Kind::kSingleLock, Kind::kMc,
-                              Kind::kRing, Kind::kPlj,        Kind::kValois};
+                              Kind::kRing, Kind::kPlj,        Kind::kValois,
+                              Kind::kSeg};
 
 /// Type-erased adapter so the sweep can be a value-parameterised test
 /// (kind x seed) rather than 8 copies of the same code.
@@ -69,6 +71,9 @@ class AnyQueue {
         break;
       case Kind::kValois:
         impl_ = make<ValoisQueue<std::uint64_t>>(capacity);
+        break;
+      case Kind::kSeg:
+        impl_ = make<SegmentQueue<std::uint64_t>>(capacity);
         break;
     }
   }

@@ -10,9 +10,14 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <thread>
 #include <vector>
 
+#include "mem/magazine.hpp"
+#include "mem/node_pool.hpp"
 #include "queues/queues.hpp"
+#include "tagged/atomic_tagged.hpp"
+#include "tagged/tagged_index.hpp"
 
 namespace msq::queues {
 namespace {
@@ -30,7 +35,8 @@ using PoolBackedTypes =
     ::testing::Types<MsQueue<std::uint64_t>, MsQueueDw<std::uint64_t>,
                      TwoLockQueue<std::uint64_t>, SingleLockQueue<std::uint64_t>,
                      MellorCrummeyQueue<std::uint64_t>, RingQueue<std::uint64_t>,
-                     PljQueue<std::uint64_t>, ValoisQueue<std::uint64_t>>;
+                     PljQueue<std::uint64_t>, ValoisQueue<std::uint64_t>,
+                     SegmentQueue<std::uint64_t>>;
 TYPED_TEST_SUITE(PoolExhaustionTest, PoolBackedTypes);
 
 TYPED_TEST(PoolExhaustionTest, RefusalIsCleanAndRepeatable) {
@@ -76,6 +82,69 @@ TYPED_TEST(PoolExhaustionTest, FillDrainCyclesShowNoNodeLeak) {
         << "capacity decayed by cycle " << cycle;
   }
   EXPECT_GT(fill_counts[0], 0u);
+}
+
+// ---- magazine allocator exhaustion semantics --------------------------
+//
+// The contract under test (src/mem/magazine.hpp): try_allocate may only
+// refuse when pool capacity is truly exhausted -- nodes cached in OTHER
+// threads' magazines must be flushed back (the exhaustion sweep) rather
+// than silently shrinking the observable pool.
+
+namespace {
+struct MagNode {
+  tagged::AtomicTagged next;
+};
+}  // namespace
+
+TEST(MagazineExhaustion, SweepMakesOtherThreadsCachedNodesVisible) {
+  constexpr std::uint32_t kNodes = 16;
+  mem::NodePool<MagNode> pool(kNodes);
+  mem::MagazineAllocator<MagNode, 8> mag(pool);
+
+  // Drain the whole pool from this thread.
+  std::vector<std::uint32_t> held;
+  for (std::uint32_t idx = mag.try_allocate(); idx != tagged::kNullIndex;
+       idx = mag.try_allocate()) {
+    held.push_back(idx);
+  }
+  ASSERT_EQ(held.size(), kNodes);
+
+  // Free half of it from a different thread: those indices land in that
+  // thread's magazine (a different slot than ours, in the common case),
+  // NOT in the shared free list.
+  std::thread([&] {
+    for (std::uint32_t i = 0; i < kNodes / 2; ++i) mag.free(held[i]);
+  }).join();
+  EXPECT_EQ(mag.unsafe_size(), kNodes / 2)
+      << "freed nodes must be visible to the racy aggregate count";
+
+  // This thread must recover every one of them: an allocation that cannot
+  // be served locally or from the shared list sweeps the other magazines.
+  std::uint32_t recovered = 0;
+  for (std::uint32_t idx = mag.try_allocate(); idx != tagged::kNullIndex;
+       idx = mag.try_allocate()) {
+    ++recovered;
+  }
+  EXPECT_EQ(recovered, kNodes / 2)
+      << "nodes cached in another thread's magazine were lost to exhaustion";
+}
+
+TEST(MagazineExhaustion, FlushAllReturnsEverythingToTheSharedList) {
+  constexpr std::uint32_t kNodes = 24;
+  mem::NodePool<MagNode> pool(kNodes);
+  mem::MagazineAllocator<MagNode, 8> mag(pool);
+
+  std::vector<std::uint32_t> held;
+  for (std::uint32_t i = 0; i < kNodes; ++i) {
+    const std::uint32_t idx = mag.try_allocate();
+    ASSERT_NE(idx, tagged::kNullIndex);
+    held.push_back(idx);
+  }
+  for (const std::uint32_t idx : held) mag.free(idx);
+  mag.flush_all();
+  EXPECT_EQ(mag.shared().unsafe_size(), kNodes)
+      << "flush_all must leave no node cached in any magazine";
 }
 
 TEST(TreiberExhaustion, TryPushRefusesCleanlyAndCyclesWithoutLeak) {

@@ -36,7 +36,7 @@ using QueueTypes =
                      SingleLockQueue<std::uint64_t>,
                      MellorCrummeyQueue<std::uint64_t>, RingQueue<std::uint64_t>,
                      PljQueue<std::uint64_t>,
-                     ValoisQueue<std::uint64_t>>;
+                     ValoisQueue<std::uint64_t>, SegmentQueue<std::uint64_t>>;
 TYPED_TEST_SUITE(QueueBasicTest, QueueTypes);
 
 TYPED_TEST(QueueBasicTest, SatisfiesConcurrentQueueConcept) {
@@ -155,6 +155,7 @@ TEST(QueueTraits, ProgressClassificationMatchesPaper) {
   EXPECT_EQ(MsQueueHp<int>::traits.progress, Progress::kNonBlocking);
   EXPECT_EQ(PljQueue<int>::traits.progress, Progress::kNonBlocking);
   EXPECT_EQ(ValoisQueue<int>::traits.progress, Progress::kNonBlocking);
+  EXPECT_EQ(SegmentQueue<int>::traits.progress, Progress::kNonBlocking);
   EXPECT_EQ(TwoLockQueue<int>::traits.progress, Progress::kBlocking);
   EXPECT_EQ(SingleLockQueue<int>::traits.progress, Progress::kBlocking);
   EXPECT_EQ(MellorCrummeyQueue<int>::traits.progress,

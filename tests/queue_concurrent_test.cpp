@@ -48,7 +48,7 @@ using QueueTypes =
                      SingleLockQueue<std::uint64_t>,
                      MellorCrummeyQueue<std::uint64_t>, RingQueue<std::uint64_t>,
                      PljQueue<std::uint64_t>,
-                     ValoisQueue<std::uint64_t>>;
+                     ValoisQueue<std::uint64_t>, SegmentQueue<std::uint64_t>>;
 TYPED_TEST_SUITE(QueueConcurrentTest, QueueTypes);
 
 TYPED_TEST(QueueConcurrentTest, PairedLoopConservesEveryValue) {

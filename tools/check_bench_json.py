@@ -31,7 +31,8 @@ import sys
 COUNTER_NAMES = [
     "enqueue", "dequeue", "dequeue_empty", "cas_attempt", "cas_fail",
     "backoff_wait", "lock_acquire", "lock_spin", "pool_get", "pool_refuse",
-    "explore_run", "explore_skip", "race_report",
+    "explore_run", "explore_skip", "race_report", "pool_cas_retry",
+    "seg_close", "mag_hit", "mag_refill", "mag_flush",
 ]
 
 TOP_KEYS = {
