@@ -24,6 +24,7 @@ using msq::queues::MsQueueHp;
 using msq::queues::PljQueue;
 using msq::queues::RingQueue;
 using msq::queues::SegmentQueue;
+using msq::queues::ShardedQueue;
 using msq::queues::SingleLockQueue;
 using msq::queues::SpscRing;
 using msq::queues::TreiberStack;
@@ -66,6 +67,12 @@ BENCHMARK_TEMPLATE(BM_UncontendedPair, PljQueue<std::uint64_t>);
 BENCHMARK_TEMPLATE(BM_UncontendedPair, ValoisQueue<std::uint64_t>);
 BENCHMARK_TEMPLATE(BM_UncontendedPair, SegmentQueue<std::uint64_t>);
 BENCHMARK_TEMPLATE(BM_UncontendedPair, FunctionShippingQueue<std::uint64_t>);
+// Sharded front end: the single-thread numbers price the ticket overhead
+// (one extra fetch_add per enqueue over the inner queue alone).
+BENCHMARK_TEMPLATE(BM_UncontendedPair,
+                   ShardedQueue<MsQueue<std::uint64_t>, 4>);
+BENCHMARK_TEMPLATE(BM_UncontendedPair,
+                   ShardedQueue<SegmentQueue<std::uint64_t>, 4>);
 
 // --- contended pair throughput ----------------------------------------------
 
@@ -95,6 +102,12 @@ BENCHMARK_TEMPLATE(BM_ContendedPairs, PljQueue<std::uint64_t>)->Threads(4)->UseR
 BENCHMARK_TEMPLATE(BM_ContendedPairs, ValoisQueue<std::uint64_t>)->Threads(4)->UseRealTime();
 BENCHMARK_TEMPLATE(BM_ContendedPairs, SegmentQueue<std::uint64_t>)->Threads(4)->UseRealTime();
 BENCHMARK_TEMPLATE(BM_ContendedPairs, FunctionShippingQueue<std::uint64_t>)->Threads(4)->UseRealTime();
+// Sharding pays off exactly here: 4 threads spread over 4 shards touch
+// almost-disjoint cache lines (ISSUE 6 acceptance comparison vs bare segq).
+BENCHMARK_TEMPLATE(BM_ContendedPairs,
+                   ShardedQueue<MsQueue<std::uint64_t>, 4>)->Threads(4)->UseRealTime();
+BENCHMARK_TEMPLATE(BM_ContendedPairs,
+                   ShardedQueue<SegmentQueue<std::uint64_t>, 4>)->Threads(4)->UseRealTime();
 
 // --- A5: empty<->nonempty transition ----------------------------------------
 
@@ -116,6 +129,11 @@ BENCHMARK_TEMPLATE(BM_EmptyTransition, RingQueue<std::uint64_t>);
 BENCHMARK_TEMPLATE(BM_EmptyTransition, PljQueue<std::uint64_t>);
 BENCHMARK_TEMPLATE(BM_EmptyTransition, ValoisQueue<std::uint64_t>);
 BENCHMARK_TEMPLATE(BM_EmptyTransition, SegmentQueue<std::uint64_t>);
+// The sharded empty path is the expensive one (full sweep + ticket double
+// collect per empty verdict): keep it visible next to the single queues.
+BENCHMARK_TEMPLATE(BM_EmptyTransition, ShardedQueue<MsQueue<std::uint64_t>, 4>);
+BENCHMARK_TEMPLATE(BM_EmptyTransition,
+                   ShardedQueue<SegmentQueue<std::uint64_t>, 4>);
 
 // --- related structures -------------------------------------------------------
 

@@ -68,9 +68,13 @@ enum class Counter : std::uint32_t {
   kMagHit,        // allocations served from a thread-local magazine
   kMagRefill,     // magazine refills from the global free list (batch pops)
   kMagFlush,      // magazine flushes back to the free list (batch pushes)
+  kShardHit,      // sharded dequeues served by the consumer's home shard
+  kShardSteal,    // sharded dequeues stolen from a non-home shard
+  kShardRehome,   // producer hint re-homed after repeated full shards
+  kEmptyRescan,   // empty sweeps re-run because a shard ticket moved
 };
 
-inline constexpr std::size_t kCounterCount = 18;
+inline constexpr std::size_t kCounterCount = 22;
 
 inline constexpr std::array<Counter, kCounterCount> kAllCounters = {
     Counter::kEnqueue,      Counter::kDequeue,    Counter::kDequeueEmpty,
@@ -78,7 +82,9 @@ inline constexpr std::array<Counter, kCounterCount> kAllCounters = {
     Counter::kLockAcquire,  Counter::kLockSpin,   Counter::kPoolGet,
     Counter::kPoolRefuse,   Counter::kExploreRun, Counter::kExploreSkip,
     Counter::kRaceReport,   Counter::kPoolCasRetry, Counter::kSegClose,
-    Counter::kMagHit,       Counter::kMagRefill,  Counter::kMagFlush};
+    Counter::kMagHit,       Counter::kMagRefill,  Counter::kMagFlush,
+    Counter::kShardHit,     Counter::kShardSteal, Counter::kShardRehome,
+    Counter::kEmptyRescan};
 
 [[nodiscard]] constexpr const char* counter_name(Counter c) noexcept {
   switch (c) {
@@ -100,6 +106,10 @@ inline constexpr std::array<Counter, kCounterCount> kAllCounters = {
     case Counter::kMagHit:       return "mag_hit";
     case Counter::kMagRefill:    return "mag_refill";
     case Counter::kMagFlush:     return "mag_flush";
+    case Counter::kShardHit:     return "shard_hit";
+    case Counter::kShardSteal:   return "shard_steal";
+    case Counter::kShardRehome:  return "shard_rehome";
+    case Counter::kEmptyRescan:  return "empty_rescan";
   }
   return "?";
 }

@@ -128,11 +128,16 @@ class MsQueueDw {
   Node* pop_free() noexcept {
     for (;;) {
       const tagged::CountedPtr<Node> top = free_top_.value.load(std::memory_order_acquire);
-      if (top.ptr == nullptr) return nullptr;
+      if (top.ptr == nullptr) {
+        MSQ_COUNT(kPoolRefuse);
+        return nullptr;
+      }
       const tagged::CountedPtr<Node> next = top.ptr->next.load(std::memory_order_acquire);
       if (free_top_.value.compare_and_swap(top, top.successor(next.ptr), std::memory_order_acq_rel)) {
+        MSQ_COUNT(kPoolGet);
         return top.ptr;
       }
+      MSQ_COUNT(kPoolCasRetry);
     }
   }
 

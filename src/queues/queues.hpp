@@ -15,6 +15,7 @@
 //     MsQueueHp     -- MS queue with hazard-pointer reclamation (2004)
 //     RingQueue     -- ticketed bounded MPMC ring (Vyukov-style, modern)
 //     SegmentQueue  -- unbounded FAA-segment queue (LCRQ/SCQ lineage)
+//     ShardedQueue  -- queue-of-queues front end with work-stealing dequeue
 #pragma once
 
 #include "queues/mellor_crummey_queue.hpp"
@@ -26,6 +27,7 @@
 #include "queues/queue_concept.hpp"
 #include "queues/ring_queue.hpp"
 #include "queues/segment_queue.hpp"
+#include "queues/sharded_queue.hpp"
 #include "queues/single_lock_queue.hpp"
 #include "queues/spsc_ring.hpp"
 #include "queues/treiber_stack.hpp"

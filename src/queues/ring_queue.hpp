@@ -17,6 +17,7 @@
 #include <memory>
 #include <optional>
 
+#include "obs/probe.hpp"
 #include "port/cpu.hpp"
 #include "queues/queue_concept.hpp"
 
@@ -63,6 +64,7 @@ class RingQueue {
           // Handshake: publish the filled slot.  A stall between the claim
           // above and this store is exactly the blocking window.
           cell.seq.store(ticket + 1, std::memory_order_release);
+          MSQ_COUNT(kEnqueue);
           return true;
         }
       } else if (seq < ticket) {
@@ -70,6 +72,7 @@ class RingQueue {
         // dequeuer has taken: ring full.
         // relaxed: fullness estimate; a stale read only delays the verdict
         if (deq_ticket_.load(std::memory_order_relaxed) + capacity_ <= ticket) {
+          MSQ_COUNT(kPoolRefuse);  // bounded ring's analogue of pool refusal
           return false;
         }
         // A dequeuer is mid-handshake on this slot; wait for it (blocking).
@@ -101,12 +104,14 @@ class RingQueue {
           out = std::move(cell.value);
           // Handshake: recycle the slot for `capacity_` tickets later.
           cell.seq.store(ticket + capacity_, std::memory_order_release);
+          MSQ_COUNT(kDequeue);
           return true;
         }
       } else if (seq <= ticket) {
         // Slot not filled.  Empty, or an enqueuer claimed it and stalled?
         // relaxed: emptiness estimate; a stale read only delays the verdict
         if (enq_ticket_.load(std::memory_order_relaxed) <= ticket) {
+          MSQ_COUNT(kDequeueEmpty);
           return false;  // no enqueue ticket issued for us: truly empty
         }
         port::cpu_relax();  // enqueuer in flight: wait (blocking)

@@ -145,8 +145,20 @@ class SegmentQueue {
       }
       // Append a fresh segment, pre-seeded with our value in slot 0 (saves
       // the new segment's first FAA + slot CAS).
-      const std::uint32_t fresh = alloc_.try_allocate();
-      if (fresh == tagged::kNullIndex) return false;
+      std::uint32_t fresh = alloc_.try_allocate();
+      if (fresh == tagged::kNullIndex) {
+        // Exhaustion sweep, mirroring the magazine's sweep-before-refusing
+        // discipline: limbo is otherwise only re-scanned by a LATER retire,
+        // and once the pool is dry no dequeue can ever retire again -- a
+        // segment whose hazard cleared after the last retire parked it
+        // would stay stranded forever, wedging every future enqueue on a
+        // queue whose capacity is nominally free (with per-shard pools as
+        // small as one usable segment this is a near-certain livelock in
+        // any enqueue-retry loop, not a rare corner).
+        sweep_limbo();
+        fresh = alloc_.try_allocate();
+        if (fresh == tagged::kNullIndex) return false;
+      }
       reset_segment(fresh);
       Segment& nseg = pool_[fresh];
       nseg.slots[0].value.put(value);

@@ -16,6 +16,7 @@
 
 #include "check/invariants.hpp"
 #include "fault/watchdog.hpp"
+#include "obs/counters.hpp"
 #include "queues/queues.hpp"
 
 namespace msq::queues {
@@ -48,7 +49,12 @@ using QueueTypes =
                      SingleLockQueue<std::uint64_t>,
                      MellorCrummeyQueue<std::uint64_t>, RingQueue<std::uint64_t>,
                      PljQueue<std::uint64_t>,
-                     ValoisQueue<std::uint64_t>, SegmentQueue<std::uint64_t>>;
+                     ValoisQueue<std::uint64_t>, SegmentQueue<std::uint64_t>,
+                     // Degenerate single shard keeps full global FIFO, so it
+                     // rides every suite here; multi-shard configurations are
+                     // stressed against their own contract in
+                     // sharded_queue_test.cpp.
+                     ShardedQueue<MsQueue<std::uint64_t>, 1>>;
 TYPED_TEST_SUITE(QueueConcurrentTest, QueueTypes);
 
 TYPED_TEST(QueueConcurrentTest, PairedLoopConservesEveryValue) {
@@ -56,6 +62,8 @@ TYPED_TEST(QueueConcurrentTest, PairedLoopConservesEveryValue) {
   // queue stays near-empty and the dummy-node transitions churn.
   constexpr int kThreads = 4;
   constexpr std::uint64_t kPairs = 30'000;
+  obs::arm();
+  const auto counters_before = obs::snapshot();
   std::vector<check::ThreadLog> logs;
   for (int t = 0; t < kThreads; ++t) logs.emplace_back(t);
   {
@@ -96,6 +104,17 @@ TYPED_TEST(QueueConcurrentTest, PairedLoopConservesEveryValue) {
   }
   EXPECT_EQ(enqueues, static_cast<std::uint64_t>(kThreads) * kPairs);
   EXPECT_EQ(dequeues, enqueues);
+  obs::disarm();
+#if MSQ_OBS
+  // The armed probes must agree with the history exactly: a silently
+  // dropped or double-bumped MSQ_COUNT site fails here, not in a bench.
+  const auto delta = obs::snapshot() - counters_before;
+  EXPECT_EQ(delta[obs::Counter::kEnqueue], enqueues);
+  EXPECT_EQ(delta[obs::Counter::kDequeue], dequeues);
+  EXPECT_LE(delta[obs::Counter::kCasFail], delta[obs::Counter::kCasAttempt]);
+#else
+  (void)counters_before;
+#endif
 }
 
 TYPED_TEST(QueueConcurrentTest, DedicatedProducersAndConsumersKeepFifo) {
@@ -182,6 +201,8 @@ TYPED_TEST(QueueConcurrentTest, ExhaustionUnderContentionRecoversCleanly) {
     std::atomic<std::uint64_t> enq_failures{0};
     std::atomic<std::uint64_t> enqueued{0};
     std::atomic<std::uint64_t> dequeued{0};
+    obs::arm();
+    const auto counters_before = obs::snapshot();
     {
       std::vector<std::jthread> threads;
       for (int t = 0; t < 4; ++t) {
@@ -209,6 +230,17 @@ TYPED_TEST(QueueConcurrentTest, ExhaustionUnderContentionRecoversCleanly) {
     std::uint64_t drained = 0;
     while (this->queue_.try_dequeue(out)) ++drained;
     EXPECT_EQ(dequeued.load() + drained, enqueued.load());
+    obs::disarm();
+#if MSQ_OBS
+    const auto delta = obs::snapshot() - counters_before;
+    EXPECT_EQ(delta[obs::Counter::kEnqueue], enqueued.load());
+    EXPECT_EQ(delta[obs::Counter::kDequeue], dequeued.load() + drained);
+    // Every refused enqueue passed a pool refusal (possibly several on the
+    // magazine fallback path), never zero.
+    EXPECT_GE(delta[obs::Counter::kPoolRefuse], enq_failures.load());
+#else
+    (void)counters_before;
+#endif
     // And the queue must be fully functional afterwards.
     EXPECT_TRUE(this->queue_.try_enqueue(99));
     ASSERT_TRUE(this->queue_.try_dequeue(out));

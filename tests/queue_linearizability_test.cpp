@@ -6,6 +6,7 @@
 // over every queue.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <thread>
 #include <vector>
@@ -15,6 +16,7 @@
 #include "check/lin_check.hpp"
 #include "port/clock.hpp"
 #include "queues/queues.hpp"
+#include "sharded_oracle.hpp"
 
 namespace msq::queues {
 namespace {
@@ -37,7 +39,10 @@ using QueueTypes =
                      SingleLockQueue<std::uint64_t>,
                      MellorCrummeyQueue<std::uint64_t>, RingQueue<std::uint64_t>,
                      PljQueue<std::uint64_t>,
-                     ValoisQueue<std::uint64_t>, SegmentQueue<std::uint64_t>>;
+                     ValoisQueue<std::uint64_t>, SegmentQueue<std::uint64_t>,
+                     // A single shard is exactly its inner queue plus the
+                     // ticket scaffolding: must stay fully linearizable.
+                     ShardedQueue<MsQueue<std::uint64_t>, 1>>;
 TYPED_TEST_SUITE(QueueLinearizabilityTest, QueueTypes);
 
 TYPED_TEST(QueueLinearizabilityTest, SmallHistoriesAreExactlyLinearizable) {
@@ -118,6 +123,60 @@ TYPED_TEST(QueueLinearizabilityTest, LargeHistorySatisfiesRealTimeFifoOrder) {
   const auto history = check::merge_logs(logs);
   const auto result = check::check_fifo_order(history);
   EXPECT_TRUE(result.ok) << result.diagnosis;
+}
+
+// Multi-shard configurations are deliberately NOT globally FIFO, so they
+// get the per-shard-FIFO oracle instead of check_fifo_order: conservation
+// over the merged history stays mandatory, and each consumer's view of
+// each producer must decompose into at most N FIFO runs.
+template <typename Q>
+void sharded_history_satisfies_per_shard_fifo() {
+  Q queue(512);
+  constexpr std::uint32_t kThreads = 4;
+  constexpr std::uint64_t kPairs = 15'000;
+  std::vector<std::vector<std::uint64_t>> streams(kThreads + 1);
+  {
+    std::vector<std::jthread> threads;
+    for (std::uint32_t t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        streams[t].reserve(kPairs);
+        for (std::uint64_t i = 0; i < kPairs; ++i) {
+          while (!queue.try_enqueue(check::encode_value(t, i))) {
+            std::this_thread::yield();
+          }
+          std::uint64_t out = 0;
+          if (queue.try_dequeue(out)) streams[t].push_back(out);
+        }
+      });
+    }
+  }
+  std::uint64_t out = 0;
+  while (queue.try_dequeue(out)) streams[kThreads].push_back(out);
+
+  // Conservation: exactly kThreads * kPairs distinct values, each once.
+  std::vector<std::uint64_t> all;
+  for (const auto& s : streams) all.insert(all.end(), s.begin(), s.end());
+  std::sort(all.begin(), all.end());
+  ASSERT_EQ(all.size(), static_cast<std::size_t>(kThreads) * kPairs);
+  ASSERT_TRUE(std::adjacent_find(all.begin(), all.end()) == all.end())
+      << "duplicate value dequeued";
+  // Per-consumer, per-producer: at most N FIFO runs.
+  for (std::size_t c = 0; c < streams.size(); ++c) {
+    const auto order = check::check_per_shard_fifo(streams[c], Q::kShards);
+    EXPECT_TRUE(order.ok)
+        << "consumer " << c << ": producer " << order.worst_producer
+        << " needed " << order.runs_needed << " > " << Q::kShards << " runs";
+  }
+}
+
+TEST(ShardedLinearizabilityTest, MsShardsHoldPerShardFifoContract) {
+  sharded_history_satisfies_per_shard_fifo<
+      ShardedQueue<MsQueue<std::uint64_t>, 4>>();
+}
+
+TEST(ShardedLinearizabilityTest, SegmentShardsHoldPerShardFifoContract) {
+  sharded_history_satisfies_per_shard_fifo<
+      ShardedQueue<SegmentQueue<std::uint64_t>, 4>>();
 }
 
 }  // namespace

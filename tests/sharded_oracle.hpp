@@ -1,0 +1,77 @@
+// Shard-aware ordering oracle for ShardedQueue tests.
+//
+// The sharded front end deliberately does not promise global FIFO
+// (docs/ALGORITHMS.md, "The sharded queue-of-queues"): a producer's items
+// land in at most N shards, each shard is FIFO, so the strongest checkable
+// per-producer property is that each producer's dequeued subsequence
+// DECOMPOSES INTO AT MOST N INCREASING RUNS -- one per shard it touched.
+//
+// That decomposition question is exactly patience sorting: greedily place
+// each sequence number on an existing "pile" whose top is smaller (any
+// such pile keeps a run increasing; choosing the pile with the LARGEST
+// qualifying top is the standard exchange-argument-optimal move), else
+// open a new pile.  The stream splits into <= N increasing subsequences
+// iff the greedy pile count stays <= N.  Combined with the multiset
+// conservation checks the suites already run, this is the sharded
+// contract's test-side half.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "check/invariants.hpp"
+
+namespace msq::check {
+
+/// Minimum number of increasing subsequences `seqs` decomposes into
+/// (greedy patience piles).  0 for an empty stream.
+[[nodiscard]] inline std::size_t min_increasing_runs(
+    const std::vector<std::uint64_t>& seqs) {
+  // tops[] holds each pile's current top, kept sorted ascending so the
+  // best pile (largest top < seq) is one binary search away.
+  std::vector<std::uint64_t> tops;
+  for (const std::uint64_t seq : seqs) {
+    // First pile whose top is >= seq cannot take it; its predecessor is
+    // the largest top that can.
+    auto it = std::lower_bound(tops.begin(), tops.end(), seq);
+    if (it == tops.begin()) {
+      tops.insert(it, seq);  // no pile can extend: open a new one
+    } else {
+      *(it - 1) = seq;  // replace the predecessor's top (still sorted)
+    }
+  }
+  return tops.size();
+}
+
+/// Verdict of the per-shard-FIFO oracle for one dequeue-order stream.
+struct ShardedOrderResult {
+  bool ok = true;
+  std::uint32_t worst_producer = 0;
+  std::size_t runs_needed = 0;  // piles needed for the worst producer
+};
+
+/// Checks that, per producer, the globally-ordered dequeue stream
+/// decomposes into at most `max_shards` increasing subsequences.  `values`
+/// must be in dequeue order (per consumer, or merged by real time) and use
+/// the encode_value convention.
+[[nodiscard]] inline ShardedOrderResult check_per_shard_fifo(
+    const std::vector<std::uint64_t>& values, std::size_t max_shards) {
+  std::map<std::uint32_t, std::vector<std::uint64_t>> per_producer;
+  for (const std::uint64_t v : values) {
+    per_producer[value_producer(v)].push_back(value_seq(v));
+  }
+  ShardedOrderResult result;
+  for (const auto& [producer, seqs] : per_producer) {
+    const std::size_t runs = min_increasing_runs(seqs);
+    if (runs > result.runs_needed) {
+      result.runs_needed = runs;
+      result.worst_producer = producer;
+    }
+    if (runs > max_shards) result.ok = false;
+  }
+  return result;
+}
+
+}  // namespace msq::check

@@ -33,6 +33,7 @@ COUNTER_NAMES = [
     "backoff_wait", "lock_acquire", "lock_spin", "pool_get", "pool_refuse",
     "explore_run", "explore_skip", "race_report", "pool_cas_retry",
     "seg_close", "mag_hit", "mag_refill", "mag_flush",
+    "shard_hit", "shard_steal", "shard_rehome", "empty_rescan",
 ]
 
 TOP_KEYS = {
