@@ -30,6 +30,7 @@ using msq::queues::SpscRing;
 using msq::queues::TreiberStack;
 using msq::queues::TwoLockQueue;
 using msq::queues::ValoisQueue;
+using msq::queues::WfQueue;
 
 template <typename Q>
 struct Make {
@@ -73,6 +74,9 @@ BENCHMARK_TEMPLATE(BM_UncontendedPair,
                    ShardedQueue<MsQueue<std::uint64_t>, 4>);
 BENCHMARK_TEMPLATE(BM_UncontendedPair,
                    ShardedQueue<SegmentQueue<std::uint64_t>, 4>);
+// Wait-free helping wrapper: the single-thread number prices the
+// announcement (16-byte CAS + slot sweep) against the bare MS queue.
+BENCHMARK_TEMPLATE(BM_UncontendedPair, WfQueue<std::uint64_t>);
 
 // --- contended pair throughput ----------------------------------------------
 
@@ -108,6 +112,10 @@ BENCHMARK_TEMPLATE(BM_ContendedPairs,
                    ShardedQueue<MsQueue<std::uint64_t>, 4>)->Threads(4)->UseRealTime();
 BENCHMARK_TEMPLATE(BM_ContendedPairs,
                    ShardedQueue<SegmentQueue<std::uint64_t>, 4>)->Threads(4)->UseRealTime();
+// Contended helping: threads complete each other's announced operations,
+// so throughput prices the helping sweeps fig_stall buys latency with.
+BENCHMARK_TEMPLATE(BM_ContendedPairs,
+                   WfQueue<std::uint64_t>)->Threads(4)->UseRealTime();
 
 // --- A5: empty<->nonempty transition ----------------------------------------
 
@@ -134,6 +142,9 @@ BENCHMARK_TEMPLATE(BM_EmptyTransition, SegmentQueue<std::uint64_t>);
 BENCHMARK_TEMPLATE(BM_EmptyTransition, ShardedQueue<MsQueue<std::uint64_t>, 4>);
 BENCHMARK_TEMPLATE(BM_EmptyTransition,
                    ShardedQueue<SegmentQueue<std::uint64_t>, 4>);
+// The wf empty verdict is a full announce + help sweep ending in a
+// phase-guarded kEmpty CAS -- the priciest empty path in the library.
+BENCHMARK_TEMPLATE(BM_EmptyTransition, WfQueue<std::uint64_t>);
 
 // --- related structures -------------------------------------------------------
 

@@ -23,6 +23,7 @@
 #include <string>
 #include <thread>
 
+#include "fault/fault_plan.hpp"
 #include "obs/report.hpp"
 
 namespace msq::fault {
@@ -87,6 +88,10 @@ class Watchdog {
       // ahead of completed ops, a parked lock holder shows lock_spin
       // climbing with zero dequeues, a drained pool shows pool_refuse.
       obs::dump_counters_stderr("counter snapshot at watchdog abort");
+      // And the breadcrumbs say WHERE: the last labelled fault site each
+      // thread passed while a plan was armed, so a fault-injection hang
+      // names the exact CAS window the stuck threads died in.
+      dump_breadcrumbs_stderr();
       std::fflush(stderr);
       std::abort();
     }

@@ -88,9 +88,14 @@ class FreeList {
   /// fields, tail's next ignored) with ONE successful CAS -- the magazine
   /// flush path.  The chain must be private to the caller.
   void free_chain(std::uint32_t head, std::uint32_t tail) noexcept {
+    // Tag monotonicity (see push): bump the tail's own count; the inner
+    // chain links are the caller's writes and must bump likewise.
+    // relaxed: the chain is private to the caller until the CAS publishes it
+    const std::uint32_t count =
+        pool_[tail].next.load(std::memory_order_relaxed).count() + 1;
     for (;;) {
       const tagged::TaggedIndex top = top_.load(std::memory_order_acquire);
-      pool_[tail].next.store(tagged::TaggedIndex(top.index(), 0),
+      pool_[tail].next.store(tagged::TaggedIndex(top.index(), count),
                              std::memory_order_release);
       if (top_.compare_and_swap(top, top.successor(head), std::memory_order_acq_rel)) return;
       MSQ_COUNT(kPoolCasRetry);
@@ -110,11 +115,21 @@ class FreeList {
 
  private:
   void push(std::uint32_t index) noexcept {
+    // A node's link tag must stay MONOTONE across its whole lifetime, not
+    // just while it sits in one structure: a queue's link CAS validates
+    // `next` against a counted value read earlier, and a reset here would
+    // let a recycled node re-expose an old count, making an arbitrarily
+    // stale link CAS succeed (the fig_stall wedge: a thread that slept
+    // between reading tail->next and CASing it linked a freed node).
+    // relaxed: the node is private to the caller until the CAS publishes it
+    const std::uint32_t count =
+        pool_[index].next.load(std::memory_order_relaxed).count() + 1;
     for (;;) {
       const tagged::TaggedIndex top = top_.load(std::memory_order_acquire);
       // Link the node above the current top.  The node is private to us
       // here, so a plain store is enough.
-      pool_[index].next.store(tagged::TaggedIndex(top.index(), 0), std::memory_order_release);
+      pool_[index].next.store(tagged::TaggedIndex(top.index(), count),
+                              std::memory_order_release);
       if (top_.compare_and_swap(top, top.successor(index), std::memory_order_acq_rel)) return;
       MSQ_COUNT(kPoolCasRetry);
     }

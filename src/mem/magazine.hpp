@@ -177,8 +177,13 @@ class MagazineAllocator {
   /// Flush all but `keep` items as one pre-linked chain: one shared CAS.
   void flush(Slot& s, std::uint32_t keep) noexcept {
     for (std::uint32_t i = keep; i + 1 < s.count; ++i) {
-      pool_[s.items[i]].next.store(tagged::TaggedIndex(s.items[i + 1], 0),
-                                   std::memory_order_release);
+      // Tag monotonicity (FreeList::push): every link write over a node's
+      // lifetime bumps its count, or recycling would replay old counts.
+      // relaxed: the chain is private to this slot until free_chain's CAS
+      auto& next = pool_[s.items[i]].next;
+      const std::uint32_t c = next.load(std::memory_order_relaxed).count() + 1;
+      next.store(tagged::TaggedIndex(s.items[i + 1], c),
+                 std::memory_order_release);
     }
     list_.free_chain(s.items[keep], s.items[s.count - 1]);
     s.count = keep;

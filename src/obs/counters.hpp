@@ -72,9 +72,10 @@ enum class Counter : std::uint32_t {
   kShardSteal,    // sharded dequeues stolen from a non-home shard
   kShardRehome,   // producer hint re-homed after repeated full shards
   kEmptyRescan,   // empty sweeps re-run because a shard ticket moved
+  kWfHelp,        // wait-free helping episodes (another slot's op completed)
 };
 
-inline constexpr std::size_t kCounterCount = 22;
+inline constexpr std::size_t kCounterCount = 23;
 
 inline constexpr std::array<Counter, kCounterCount> kAllCounters = {
     Counter::kEnqueue,      Counter::kDequeue,    Counter::kDequeueEmpty,
@@ -84,7 +85,7 @@ inline constexpr std::array<Counter, kCounterCount> kAllCounters = {
     Counter::kRaceReport,   Counter::kPoolCasRetry, Counter::kSegClose,
     Counter::kMagHit,       Counter::kMagRefill,  Counter::kMagFlush,
     Counter::kShardHit,     Counter::kShardSteal, Counter::kShardRehome,
-    Counter::kEmptyRescan};
+    Counter::kEmptyRescan,  Counter::kWfHelp};
 
 [[nodiscard]] constexpr const char* counter_name(Counter c) noexcept {
   switch (c) {
@@ -110,6 +111,7 @@ inline constexpr std::array<Counter, kCounterCount> kAllCounters = {
     case Counter::kShardSteal:   return "shard_steal";
     case Counter::kShardRehome:  return "shard_rehome";
     case Counter::kEmptyRescan:  return "empty_rescan";
+    case Counter::kWfHelp:       return "wf_help";
   }
   return "?";
 }

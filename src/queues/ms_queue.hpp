@@ -68,8 +68,17 @@ class MsQueue {
     const std::uint32_t node = freelist_.try_allocate();
     if (node == tagged::kNullIndex) return false;
     // E2: node->value = value;  E3: node->next.ptr = NULL
+    // The null is COUNTED: preserving and bumping the node's tag keeps its
+    // link count monotone across recycles (FreeList::push has the full
+    // argument), so a stale E9 CAS against a previous life of this node
+    // can never succeed.  The paper's E3 resets the count; with a shared
+    // free list that re-exposes old counts and voids the E7/E9 guard.
     pool_[node].value.put(value);
-    pool_[node].next.store(tagged::TaggedIndex{}, std::memory_order_release);
+    const tagged::TaggedIndex stale =
+        pool_[node].next.load(std::memory_order_acquire);
+    pool_[node].next.store(
+        tagged::TaggedIndex(tagged::kNullIndex, stale.count() + 1),
+        std::memory_order_release);
 
     BackoffPolicy backoff;
     for (;;) {  // E4: repeat

@@ -16,6 +16,7 @@
 //     RingQueue     -- ticketed bounded MPMC ring (Vyukov-style, modern)
 //     SegmentQueue  -- unbounded FAA-segment queue (LCRQ/SCQ lineage)
 //     ShardedQueue  -- queue-of-queues front end with work-stealing dequeue
+//     WfQueue       -- wait-free announcement-helping wrapper over the core
 #pragma once
 
 #include "queues/mellor_crummey_queue.hpp"
@@ -33,3 +34,4 @@
 #include "queues/treiber_stack.hpp"
 #include "queues/two_lock_queue.hpp"
 #include "queues/valois_queue.hpp"
+#include "queues/wf_queue.hpp"

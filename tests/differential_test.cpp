@@ -41,12 +41,13 @@ enum class Kind {
   kValois,
   kSeg,
   kSharded1,  // ShardedQueue<MsQueue, 1>: degenerate, still global FIFO
+  kWf,        // announcement-helping wait-free wrapper
 };
 
 constexpr Kind kAllKinds[] = {Kind::kMs,   Kind::kMsDw,       Kind::kMsHp,
                               Kind::kTwoLock, Kind::kSingleLock, Kind::kMc,
                               Kind::kRing, Kind::kPlj,        Kind::kValois,
-                              Kind::kSeg,  Kind::kSharded1};
+                              Kind::kSeg,  Kind::kSharded1,  Kind::kWf};
 
 /// Type-erased adapter so the sweep can be a value-parameterised test
 /// (kind x seed) rather than 8 copies of the same code.
@@ -87,6 +88,9 @@ class AnyQueue {
         break;
       case Kind::kSharded1:
         impl_ = make<ShardedQueue<MsQueue<std::uint64_t>, 1>>(capacity);
+        break;
+      case Kind::kWf:
+        impl_ = make<WfQueue<std::uint64_t>>(capacity);
         break;
     }
   }

@@ -21,6 +21,7 @@
 //     backpressure instead of corruption.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -680,6 +681,299 @@ TEST(RealThreadFaults, DelayRuleWidensTheRaceWindowWithoutChangingResults) {
   std::uint64_t out = 0, drained = 0;
   while (queue.try_dequeue(out)) ++drained;
   EXPECT_EQ(dequeued.load() + drained, enqueued.load());
+  plan.disarm();
+}
+
+// ---------------------------------------------------------------------------
+// ShardedQueue fault sites: the announce-then-insert window, the steal
+// sweep, the empty-verify double collect, and producer re-homing.
+// ---------------------------------------------------------------------------
+
+TEST(RealThreadFaults, ShardedVictimHaltedInAnnounceInsertWindowStaysCoherent) {
+  // The victim parks AFTER bumping its shard's ticket but BEFORE inserting
+  // the item -- the exact window the double-collect empty check exists
+  // for.  A concurrent empty sweep that straddles the bump must rescan
+  // (not miss the announcement), but later sweeps see a stable ticket and
+  // report empty cleanly: the orphaned announcement can cost at most one
+  // rescan, never a livelock.
+  fault::Watchdog watchdog(60s, "sharded halted announce-insert window");
+  queues::ShardedQueue<queues::MsQueue<std::uint64_t>, 2> queue(64);
+
+  fault::FaultPlan plan;
+  plan.halt_at("shardq.insert");
+  plan.arm();
+
+  std::atomic<bool> victim_returned{false};
+  std::thread victim([&] {
+    EXPECT_TRUE(queue.try_enqueue(7777));
+    victim_returned.store(true);
+  });
+  plan.wait_for_halted(1);
+  ASSERT_FALSE(victim_returned.load());
+
+  // Survivors run full workloads across both shards; every empty sweep
+  // must terminate (the Watchdog is the livelock detector here).
+  std::atomic<std::uint64_t> enqueued{0}, dequeued{0};
+  {
+    std::vector<std::jthread> survivors;
+    for (int t = 0; t < 2; ++t) {
+      survivors.emplace_back([&] {
+        for (int i = 0; i < 2'000; ++i) {
+          while (!queue.try_enqueue(1)) std::this_thread::yield();
+          enqueued.fetch_add(1, std::memory_order_relaxed);
+          std::uint64_t out = 0;
+          if (queue.try_dequeue(out)) {
+            dequeued.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+  }
+  EXPECT_EQ(enqueued.load(), 4'000u);
+  EXPECT_FALSE(victim_returned.load());
+
+  // Drain to empty while the victim is still parked: the final dequeue
+  // runs the full coherent-empty sweep (the ticket it orphaned was bumped
+  // before any pre[] collection here, so the sweep must report empty
+  // rather than rescan forever -- the Watchdog polices that).
+  std::uint64_t out = 0, drained = 0;
+  while (queue.try_dequeue(out)) ++drained;
+  EXPECT_FALSE(queue.try_dequeue(out));
+  EXPECT_GT(plan.hits("shardq.verify"), 0u)
+      << "the coherent-empty check never ran";
+  EXPECT_EQ(dequeued.load() + drained, enqueued.load())
+      << "victim's item surfaced before its insert resumed";
+
+  // Resurrect: the victim's insert completes and ONLY then is its item
+  // dequeuable.
+  plan.release_halted();
+  victim.join();
+  std::uint64_t late = 0, late_drained = 0;
+  while (queue.try_dequeue(late)) ++late_drained;
+  EXPECT_EQ(late_drained, 1u);
+  EXPECT_EQ(late, 7777u);
+  plan.disarm();
+}
+
+TEST(RealThreadFaults, ShardedVictimHaltedMidStealSweepBlocksNobody) {
+  // A consumer parked mid-sweep holds no shared state at all: both
+  // enqueuers and dequeuers must be completely unaffected, and the items
+  // its sweep was about to steal remain available to everyone else.
+  fault::Watchdog watchdog(60s, "sharded halted mid-steal sweep");
+  queues::ShardedQueue<queues::MsQueue<std::uint64_t>, 2> queue(64);
+  for (std::uint64_t i = 0; i < 16; ++i) ASSERT_TRUE(queue.try_enqueue(i));
+
+  fault::FaultPlan plan;
+  plan.halt_at("shardq.steal");
+  plan.arm();
+
+  std::thread victim([&] {
+    std::uint64_t out = 0;
+    queue.try_dequeue(out);  // parks inside the stealing sweep
+  });
+  plan.wait_for_halted(1);
+
+  std::atomic<std::uint64_t> enqueued{0}, dequeued{0};
+  {
+    std::vector<std::jthread> survivors;
+    for (int t = 0; t < 2; ++t) {
+      survivors.emplace_back([&] {
+        for (int i = 0; i < 2'000; ++i) {
+          while (!queue.try_enqueue(1)) std::this_thread::yield();
+          enqueued.fetch_add(1, std::memory_order_relaxed);
+          std::uint64_t out = 0;
+          if (queue.try_dequeue(out)) {
+            dequeued.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+  }
+  EXPECT_EQ(enqueued.load(), 4'000u);
+  EXPECT_GT(plan.hits("shardq.steal"), 0u);
+
+  plan.release_halted();
+  victim.join();
+  // The victim's resumed dequeue may or may not land an item; count what
+  // it could have taken by draining and checking totals.
+  std::uint64_t out = 0, drained = 0;
+  while (queue.try_dequeue(out)) ++drained;
+  EXPECT_GE(dequeued.load() + drained, enqueued.load() + 16 - 1);
+  EXPECT_LE(dequeued.load() + drained, enqueued.load() + 16);
+  plan.disarm();
+}
+
+TEST(RealThreadFaults, ShardedProducerRehomesOffAPersistentlyFullShard) {
+  // Drive a producer against a full home shard until the re-home heuristic
+  // fires (kRehomeAfter consecutive home failures with a neighbour
+  // accepting).  An armed plan records site hits even with no rules, so
+  // this doubles as probe-placement coverage for "shardq.rehome".
+  queues::ShardedQueue<queues::MsQueue<std::uint64_t>, 2> queue(16);
+
+  fault::FaultPlan plan;  // no rules: pure hit observation
+  plan.arm();
+
+  std::uint64_t accepted = 0;
+  while (queue.try_enqueue(accepted)) ++accepted;
+  EXPECT_GE(accepted, 14u) << "aggregate capacity refused far too early";
+  EXPECT_GT(plan.hits("shardq.insert"), 0u);
+  EXPECT_GT(plan.hits("shardq.rehome"), 0u)
+      << "home shard stayed full but the producer never re-homed";
+  plan.disarm();
+}
+
+// ---------------------------------------------------------------------------
+// WfQueue fault sites: the wait-free claim, demonstrated with real threads.
+// ---------------------------------------------------------------------------
+
+TEST(RealThreadFaults, WfVictimHaltedAfterAnnounceIsCompletedBySurvivors) {
+  // THE wait-free distinction, as an observable fact: the victim announces
+  // an enqueue and parks before taking a single further step.  With the MS
+  // core alone nothing would happen (its node is not yet linked -- there
+  // is nothing to help).  With the announcement array, survivors MUST
+  // finish the victim's operation: its item becomes dequeuable while the
+  // victim is still parked.
+  constexpr std::uint64_t kMarker = 0xD00DF00Du;
+  fault::Watchdog watchdog(60s, "WfQueue halted-at-announce helping");
+  queues::WfQueue<std::uint64_t> queue(256);
+
+  fault::FaultPlan plan;
+  plan.halt_at("wfq.announce");
+  plan.arm();
+
+  std::atomic<bool> victim_returned{false};
+  std::thread victim([&] {
+    EXPECT_TRUE(queue.try_enqueue(kMarker));
+    victim_returned.store(true);
+  });
+  plan.wait_for_halted(1);
+  ASSERT_EQ(plan.halted_now(), 1u);
+  ASSERT_FALSE(victim_returned.load());
+
+  std::atomic<bool> marker_seen{false};
+  std::atomic<std::uint64_t> enqueued{0}, dequeued{0};
+  {
+    std::vector<std::jthread> survivors;
+    for (int t = 0; t < 2; ++t) {
+      survivors.emplace_back([&] {
+        for (int i = 0; i < 3'000; ++i) {
+          while (!queue.try_enqueue(1)) std::this_thread::yield();
+          enqueued.fetch_add(1, std::memory_order_relaxed);
+          std::uint64_t out = 0;
+          if (queue.try_dequeue(out)) {
+            dequeued.fetch_add(1, std::memory_order_relaxed);
+            if (out == kMarker) marker_seen.store(true);
+          }
+        }
+      });
+    }
+  }
+  EXPECT_EQ(enqueued.load(), 6'000u);
+  EXPECT_FALSE(victim_returned.load()) << "victim escaped its halt";
+  EXPECT_TRUE(marker_seen.load())
+      << "survivors never completed the parked victim's announced enqueue";
+
+  plan.release_halted();
+  victim.join();
+  EXPECT_TRUE(victim_returned.load());
+  std::uint64_t out = 0, drained = 0;
+  while (queue.try_dequeue(out)) ++drained;
+  EXPECT_EQ(dequeued.load() + drained, enqueued.load() + 1);
+  plan.disarm();
+}
+
+TEST(RealThreadFaults, WfSurvivorsCompleteWhileVictimHaltedInsideHelping) {
+  // Crash-stop a worker at every labelled step of the helping protocol in
+  // turn: after the link CAS window opens, at the claim CAS, at the result
+  // deposit, and at the tail/head swing.  A parked helper holds only its
+  // own descriptor slot -- survivors must complete full workloads, and
+  // every item (including the victim's own completed ops) is conserved.
+  constexpr std::array<const char*, 4> kSites = {"wfq.link", "wfq.claim",
+                                                 "wfq.deposit", "wfq.swing"};
+  for (const char* site : kSites) {
+    SCOPED_TRACE(site);
+    fault::Watchdog watchdog(60s,
+                             std::string("WfQueue halted at ") + site);
+    queues::WfQueue<std::uint64_t> queue(256);
+
+    fault::FaultPlan plan;
+    plan.halt_at(site);
+    plan.arm();
+
+    std::atomic<std::uint64_t> enqueued{0}, dequeued{0};
+    std::thread victim([&] {
+      for (int i = 0; i < 500; ++i) {  // parks at the first site hit,
+        while (!queue.try_enqueue(1)) std::this_thread::yield();
+        enqueued.fetch_add(1, std::memory_order_relaxed);
+        std::uint64_t out = 0;
+        if (queue.try_dequeue(out)) {  // finishes the rest after release
+          dequeued.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+    plan.wait_for_halted(1);
+
+    {
+      std::vector<std::jthread> survivors;
+      for (int t = 0; t < 2; ++t) {
+        survivors.emplace_back([&] {
+          for (int i = 0; i < 2'000; ++i) {
+            while (!queue.try_enqueue(1)) std::this_thread::yield();
+            enqueued.fetch_add(1, std::memory_order_relaxed);
+            std::uint64_t out = 0;
+            if (queue.try_dequeue(out)) {
+              dequeued.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+        });
+      }
+    }
+    EXPECT_EQ(plan.halted_now(), 1u) << "victim escaped its halt";
+    EXPECT_GE(enqueued.load(), 4'000u);
+
+    plan.release_halted();
+    victim.join();
+    std::uint64_t out = 0, drained = 0;
+    while (queue.try_dequeue(out)) ++drained;
+    EXPECT_EQ(dequeued.load() + drained, enqueued.load());
+    plan.disarm();
+  }
+}
+
+TEST(RealThreadFaults, StallRuleBindsOneStickyVictimAndAccountsTime) {
+  // The tail-latency instrument bench/fig_stall.cpp relies on: (a) exactly
+  // one thread -- the first to hit the site -- absorbs every injected
+  // stall, and (b) the injected time is accounted per thread so the bench
+  // can subtract it from raw latency.
+  fault::Watchdog watchdog(60s, "stall rule sticky-victim binding");
+  queues::MsQueue<std::uint64_t> queue(128);
+
+  fault::FaultPlan plan;
+  plan.stall_at("ms.E9", 200us);
+  plan.arm();
+
+  std::array<std::uint64_t, 3> injected{};
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < 3; ++t) {
+      threads.emplace_back([&, t] {
+        const std::uint64_t before = fault::injected_stall_ns();
+        for (int i = 0; i < 200; ++i) {
+          while (!queue.try_enqueue(1)) std::this_thread::yield();
+          std::uint64_t out = 0;
+          while (!queue.try_dequeue(out)) std::this_thread::yield();
+        }
+        injected[static_cast<std::size_t>(t)] =
+            fault::injected_stall_ns() - before;
+      });
+    }
+  }
+  EXPECT_GE(plan.hits("ms.E9"), 600u);
+  int victims = 0;
+  for (const std::uint64_t ns : injected) {
+    if (ns > 0) ++victims;
+  }
+  EXPECT_EQ(victims, 1) << "stall victim binding is not sticky-unique";
   plan.disarm();
 }
 

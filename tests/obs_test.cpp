@@ -211,6 +211,42 @@ TEST(Histogram, MergeMatchesRecordingIntoOne) {
   }
 }
 
+TEST(Histogram, MergedExtremeTailSurvivesManyFastShards) {
+  // The fig_stall shape: per-thread shards where ONE thread (the stall
+  // victim) contributes a few multi-millisecond sojourns while every other
+  // shard holds thousands of sub-microsecond ones.  After the merge the
+  // outliers must still be visible exactly where the experiment reads
+  // them: p99.9 (when the tail mass is >0.1%), percentile(100), and max().
+  constexpr std::uint64_t kFast = 700;        // ~0.7us
+  constexpr std::uint64_t kStall = 2'000'000; // ~2ms sojourn
+  std::vector<Histogram> shards(8);
+  for (std::size_t t = 0; t + 1 < shards.size(); ++t) {
+    for (int i = 0; i < 1000; ++i) shards[t].record(kFast + (i % 32));
+  }
+  // 10 stalled items in 7010 total: ~0.14% of mass, past the p99.9 cut.
+  for (int i = 0; i < 10; ++i) shards.back().record(kStall + i);
+
+  Histogram merged;
+  for (const Histogram& s : shards) merged.merge(s);
+
+  EXPECT_EQ(merged.count(), 7 * 1000u + 10u);
+  // The slow bucket is ~6% wide (log bucketing); the assertion is that the
+  // tail READS as milliseconds, not that the bucket edge is exact.
+  EXPECT_GE(merged.percentile(99.9), kStall / 2);
+  EXPECT_LT(merged.percentile(99.0), kFast * 4);
+  // percentile() clamps to the observed max, so the extreme tail never
+  // reports a bucket ceiling past a value that actually happened.
+  EXPECT_EQ(merged.percentile(100), merged.max());
+  EXPECT_EQ(merged.max(), kStall + 9);
+  // Merge order must not matter for the tail.
+  Histogram reversed;
+  for (auto it = shards.rbegin(); it != shards.rend(); ++it) {
+    reversed.merge(*it);
+  }
+  EXPECT_EQ(reversed.percentile(99.9), merged.percentile(99.9));
+  EXPECT_EQ(reversed.max(), merged.max());
+}
+
 TEST(JsonWriter, StructureAndEscaping) {
   std::ostringstream os;
   JsonWriter w(os);

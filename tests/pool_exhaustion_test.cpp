@@ -44,7 +44,8 @@ using PoolBackedTypes =
                      // multi-shard: the single producer fills its home shard
                      // to refusal before spilling onward in order, and the
                      // drain sweeps shards in the same order.
-                     ShardedQueue<SegmentQueue<std::uint64_t>, 2>>;
+                     ShardedQueue<SegmentQueue<std::uint64_t>, 2>,
+                     WfQueue<std::uint64_t>>;
 TYPED_TEST_SUITE(PoolExhaustionTest, PoolBackedTypes);
 
 TYPED_TEST(PoolExhaustionTest, RefusalIsCleanAndRepeatable) {

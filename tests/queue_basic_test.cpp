@@ -36,7 +36,8 @@ using QueueTypes =
                      SingleLockQueue<std::uint64_t>,
                      MellorCrummeyQueue<std::uint64_t>, RingQueue<std::uint64_t>,
                      PljQueue<std::uint64_t>,
-                     ValoisQueue<std::uint64_t>, SegmentQueue<std::uint64_t>>;
+                     ValoisQueue<std::uint64_t>, SegmentQueue<std::uint64_t>,
+                     WfQueue<std::uint64_t>>;
 TYPED_TEST_SUITE(QueueBasicTest, QueueTypes);
 
 TYPED_TEST(QueueBasicTest, SatisfiesConcurrentQueueConcept) {
@@ -161,6 +162,10 @@ TEST(QueueTraits, ProgressClassificationMatchesPaper) {
   EXPECT_EQ(MellorCrummeyQueue<int>::traits.progress,
             Progress::kLockFreeBlocking);
   EXPECT_EQ(RingQueue<int>::traits.progress, Progress::kLockFreeBlocking);
+  // The helping wrapper upgrades the MS core's guarantee to wait-free
+  // (ROADMAP item 3; the bound is proven over schedules in
+  // tests/sim_wf_test.cpp).
+  EXPECT_EQ(WfQueue<int>::traits.progress, Progress::kWaitFree);
   EXPECT_FALSE(MsQueueHp<int>::traits.pool_backed);
   EXPECT_TRUE(MsQueue<int>::traits.pool_backed);
 }

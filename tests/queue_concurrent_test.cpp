@@ -54,7 +54,8 @@ using QueueTypes =
                      // rides every suite here; multi-shard configurations are
                      // stressed against their own contract in
                      // sharded_queue_test.cpp.
-                     ShardedQueue<MsQueue<std::uint64_t>, 1>>;
+                     ShardedQueue<MsQueue<std::uint64_t>, 1>,
+                     WfQueue<std::uint64_t>>;
 TYPED_TEST_SUITE(QueueConcurrentTest, QueueTypes);
 
 TYPED_TEST(QueueConcurrentTest, PairedLoopConservesEveryValue) {

@@ -42,7 +42,8 @@ using QueueTypes =
                      ValoisQueue<std::uint64_t>, SegmentQueue<std::uint64_t>,
                      // A single shard is exactly its inner queue plus the
                      // ticket scaffolding: must stay fully linearizable.
-                     ShardedQueue<MsQueue<std::uint64_t>, 1>>;
+                     ShardedQueue<MsQueue<std::uint64_t>, 1>,
+                     WfQueue<std::uint64_t>>;
 TYPED_TEST_SUITE(QueueLinearizabilityTest, QueueTypes);
 
 TYPED_TEST(QueueLinearizabilityTest, SmallHistoriesAreExactlyLinearizable) {

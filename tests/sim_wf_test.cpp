@@ -1,0 +1,204 @@
+// Model-checked core of the wait-free helping protocol behind
+// queues::WfQueue (announcement array + monotone phases, Kogan-Petrank
+// style over the MS core).
+//
+// The queue itself is exercised by the real-thread suites; what the
+// simulator adds is SCHEDULE coverage of the protocol skeleton -- the part
+// whose interleavings decide the wait-freedom claim:
+//
+//  * an operation draws a phase (FAA), announces itself in its slot, and
+//    performs ONE ascending helping sweep, completing every announced op
+//    with phase <= its own via a single pending->done CAS per slot;
+//  * completion state is monotone (pending -> done, never back), so a
+//    failed help CAS needs no retry: the failure itself proves another
+//    helper completed that op.
+//
+// Checked over EVERY sleep-set-DPOR schedule of 3 concurrent ops:
+//  1. step bound: no schedule makes any op exceed its documented
+//     2*kProcs + 3 shared-memory steps (the real queue's constant-step
+//     link/swing/claim/deposit completion is collapsed into the one CAS;
+//     the helping sweep is what scales and what is modelled exactly);
+//  2. completion-after-sweep: an op's own announcement is always done when
+//     its own sweep finishes -- under ANY interleaving (this is the
+//     wait-free claim: bounded steps to completion, no luck required);
+//  3. exactly-once: each announced op is completed by exactly one
+//     successful CAS, no matter how many helpers race on it.
+//
+// Plus a crash sweep OUTSIDE DPOR (crashes are forbidden mid-exploration):
+// a helper crash-stopped after EVERY reachable step of its operation can
+// never wedge the announcement array -- survivors still finish all their
+// ops, and if the victim's announcement was published, the survivors
+// complete it (its slot reads `done` while the victim stays dead).  This is
+// the simulator twin of RealThreadFaults.WfVictimHaltedAfterAnnounce*.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <memory>
+
+#include "sim/engine.hpp"
+#include "sim/explore.hpp"
+
+namespace msq::sim {
+namespace {
+
+constexpr std::uint32_t kProcs = 3;
+
+// Announcement word: (phase << 2) | state.
+constexpr std::uint64_t kStateIdle = 0;
+constexpr std::uint64_t kStatePending = 1;
+constexpr std::uint64_t kStateDone = 2;
+
+constexpr std::uint64_t encode(std::uint64_t phase, std::uint64_t state) {
+  return (phase << 2) | state;
+}
+constexpr std::uint64_t state_of(std::uint64_t word) { return word & 3u; }
+constexpr std::uint64_t phase_of(std::uint64_t word) { return word >> 2; }
+
+/// Documented per-op step bound: FAA + announce + (read + at most one help
+/// CAS per slot) + the final own-slot read.
+constexpr std::uint64_t kStepBound = 2 * kProcs + 3;
+
+struct HelpWorld;
+Task<void> announced_op(Proc& p, HelpWorld& w, std::uint32_t self,
+                        std::uint32_t rounds);
+
+struct HelpWorld {
+  Engine engine;
+  Addr ann0 = 0;     // kProcs announcement words
+  Addr phase = 0;    // global phase counter
+  std::array<std::uint64_t, kProcs> op_steps{};    // steps of the LAST op
+  std::array<std::uint64_t, kProcs> completions{};  // successful help CASes
+  std::array<bool, kProcs> done_after_sweep{};
+
+  explicit HelpWorld(std::uint32_t rounds_per_proc = 1) {
+    SimMemory& mem = engine.memory();
+    ann0 = mem.alloc(kProcs);
+    phase = mem.alloc(1);
+    for (std::uint32_t i = 0; i < kProcs; ++i) {
+      mem.word(ann0 + i) = encode(0, kStateIdle);
+      done_after_sweep[i] = true;
+    }
+    for (std::uint32_t i = 0; i < kProcs; ++i) {
+      engine.spawn(0, [this, i, rounds_per_proc](Proc& p) {
+        return announced_op(p, *this, i, rounds_per_proc);
+      });
+    }
+  }
+
+  [[nodiscard]] Addr ann(std::uint32_t i) const { return ann0 + i; }
+};
+
+/// `rounds` announced operations in sequence (later rounds draw later
+/// phases, which is how a survivor's sweep comes to cover a dead peer).
+Task<void> announced_op(Proc& p, HelpWorld& w, std::uint32_t self,
+                        std::uint32_t rounds) {
+  for (std::uint32_t r = 0; r < rounds; ++r) {
+    w.op_steps[self] = 0;
+    auto tick = [&] { ++w.op_steps[self]; };
+
+    tick();
+    const std::uint64_t my_phase = co_await p.faa(w.phase, 1);
+    tick();
+    co_await p.write(w.ann(self), encode(my_phase, kStatePending));
+
+    // The helping sweep: ascending slot order, help everything announced
+    // with a phase no later than ours (including our own slot).
+    for (std::uint32_t j = 0; j < kProcs; ++j) {
+      tick();
+      const std::uint64_t a = co_await p.read(w.ann(j));
+      if (state_of(a) == kStatePending && phase_of(a) <= my_phase) {
+        tick();
+        const std::uint64_t seen =
+            co_await p.cas(w.ann(j), a, encode(phase_of(a), kStateDone));
+        // Monotone pending->done: a lost CAS here means another helper
+        // completed slot j first -- no retry, and that is the whole
+        // argument for the bound.
+        if (seen == a) ++w.completions[self];
+      }
+    }
+
+    tick();
+    const std::uint64_t mine = co_await p.read(w.ann(self));
+    if (state_of(mine) != kStateDone) w.done_after_sweep[self] = false;
+  }
+}
+
+TEST(SimWfHelping, DporNoScheduleExceedsTheStepBoundOrLeavesAnOpPending) {
+  std::unique_ptr<HelpWorld> world;
+  std::uint64_t checked = 0;
+  DporConfig config;
+  config.max_steps_per_run = 2'000;
+  const DporResult result = explore_dpor(
+      config, kProcs,
+      [&]() -> Engine& {
+        world = std::make_unique<HelpWorld>();
+        return world->engine;
+      },
+      /*on_step=*/nullptr,
+      [&](Engine& engine) {
+        // Wait-freedom has no blocked schedules, full stop.
+        ASSERT_TRUE(engine.all_done()) << "a schedule wedged an announced op";
+        std::uint64_t total_completions = 0;
+        for (std::uint32_t i = 0; i < kProcs; ++i) {
+          ASSERT_LE(world->op_steps[i], kStepBound)
+              << "proc " << i << " exceeded the documented helping bound";
+          ASSERT_TRUE(world->done_after_sweep[i])
+              << "proc " << i
+              << "'s own op was still pending after its full sweep";
+          total_completions += world->completions[i];
+        }
+        // Exactly-once: kProcs announcements, kProcs successful
+        // completion CASes across all helpers, never more.
+        ASSERT_EQ(total_completions, kProcs);
+        ++checked;
+      });
+  EXPECT_FALSE(result.budget_exhausted);
+  EXPECT_GT(checked, 50u) << "DPOR covered suspiciously few schedules";
+  EXPECT_GT(result.sleep_blocked, 0u)
+      << "sleep sets pruned nothing -- exploration misconfigured?";
+}
+
+TEST(SimWfHelping, CrashedHelperCannotWedgeTheAnnouncementArray) {
+  // Length of one uncrashed op, measured by stepping a fresh victim alone.
+  std::uint64_t op_len = 0;
+  {
+    HelpWorld w;
+    const std::uint32_t victim = 0;
+    while (w.engine.step(victim)) ++op_len;
+    ASSERT_GT(op_len, 0u);
+    ASSERT_LE(op_len, kStepBound);
+  }
+
+  for (std::uint64_t k = 0; k <= op_len; ++k) {
+    // Survivors run TWO rounds each: their second round's phase is
+    // strictly later than anything the victim drew, so their sweeps must
+    // cover (and complete) the victim's announcement.
+    HelpWorld w(/*rounds_per_proc=*/2);
+    const std::uint32_t victim = 0;
+    for (std::uint64_t s = 0; s < k; ++s) w.engine.step(victim);
+    w.engine.crash(victim);
+
+    for (std::uint64_t i = 0; i < 10'000; ++i) {
+      if (!w.engine.step_random()) break;
+    }
+    EXPECT_TRUE(w.engine.done(1)) << "survivor 1 wedged; crash step " << k;
+    EXPECT_TRUE(w.engine.done(2)) << "survivor 2 wedged; crash step " << k;
+    EXPECT_TRUE(w.done_after_sweep[1]);
+    EXPECT_TRUE(w.done_after_sweep[2]);
+
+    // The victim's slot can be idle (died before publishing) or done
+    // (survivors completed it) -- but NEVER left pending: a published
+    // announcement is always finished by somebody.
+    const std::uint64_t slot = w.engine.memory().word(w.ann(victim));
+    EXPECT_NE(state_of(slot), kStatePending)
+        << "announcement orphaned forever; victim crashed at step " << k;
+    if (k >= 2) {  // FAA then announce-write have both executed
+      EXPECT_EQ(state_of(slot), kStateDone)
+          << "published announcement not completed; crash step " << k;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace msq::sim

@@ -14,6 +14,8 @@ Schema "msq-bench-v1" (bench/fig_common.cpp:write_json):
            {"procs": int, "net_seconds_per_million_pairs": num,
             "throughput_pairs_per_sec": num, "ops": int,
             "empty_dequeues": int, "enqueue_failures": int,
+            # latency benches (fig_stall) also emit, per point:
+            #   "p99_ns": int, "p999_ns": int, "injected_stall_ns": int
             "counters": {<name>: {"total": int, "per_op": num}, ...}}]}]
     }
 
@@ -33,7 +35,7 @@ COUNTER_NAMES = [
     "backoff_wait", "lock_acquire", "lock_spin", "pool_get", "pool_refuse",
     "explore_run", "explore_skip", "race_report", "pool_cas_retry",
     "seg_close", "mag_hit", "mag_refill", "mag_flush",
-    "shard_hit", "shard_steal", "shard_rehome", "empty_rescan",
+    "shard_hit", "shard_steal", "shard_rehome", "empty_rescan", "wf_help",
 ]
 
 TOP_KEYS = {
@@ -50,6 +52,14 @@ POINT_KEYS = {
     "empty_dequeues": int,
     "enqueue_failures": int,
     "counters": dict,
+}
+
+# Emitted only by the latency benches (bench/fig_stall.cpp); when present
+# they must be well-formed non-negative integers (nanoseconds).
+OPTIONAL_POINT_KEYS = {
+    "p99_ns": int,
+    "p999_ns": int,
+    "injected_stall_ns": int,
 }
 
 
@@ -115,6 +125,14 @@ def check_file(path):
                     err(f"{pwhere} {key!r} has type {type(point[key]).__name__}")
                 elif not finite(point[key]) and key != "counters":
                     err(f"{pwhere} {key!r} is not finite")
+            for key, type_ in OPTIONAL_POINT_KEYS.items():
+                if key not in point:
+                    continue
+                value = point[key]
+                if not isinstance(value, type_) or isinstance(value, bool):
+                    err(f"{pwhere} {key!r} has type {type(value).__name__}")
+                elif value < 0:
+                    err(f"{pwhere} {key!r} is negative")
             procs = point.get("procs")
             if isinstance(procs, int):
                 if procs <= prev_procs:
