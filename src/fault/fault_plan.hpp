@@ -40,6 +40,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <mutex>
 #include <string_view>
 #include <thread>
@@ -362,7 +363,15 @@ class FaultPlan {
         // per-site ordering, which FAA on one cell gives by itself
         return c.hits.fetch_add(1, std::memory_order_relaxed) + 1;
     }
-    return 0;  // > kMaxSites distinct sites in one plan: count as hit 0
+    // Slot exhaustion must not fail silently: returning 0 here would make
+    // `hit <= rule.skip` true even for skip=0, quietly disabling any rule
+    // targeting the overflow site.  This is test-only machinery -- abort
+    // loudly instead of corrupting a fault-injection experiment.
+    std::fprintf(stderr,
+                 "FaultPlan: more than %zu distinct sites hit while armed "
+                 "(overflowed at '%s'); raise kMaxSites\n",
+                 kMaxSites, site);
+    std::abort();
   }
 
   mutable std::mutex mutex_;

@@ -22,7 +22,10 @@
 // Completion is a phase-guarded CAS on the announcement cell, so an
 // operation completes exactly once no matter how many helpers race, and a
 // helper holding an arbitrarily stale view can never corrupt a newer
-// operation (its expected {phase|state} no longer matches).
+// operation: either its expected {phase|state} no longer matches, or --
+// for a dequeue deposit, where the helper may have re-read the reused
+// slot's CURRENT announcement -- the live-Head revalidation in
+// finish_deq rejects its dead dummy incarnation before any value is read.
 //
 // Step bound: once announced, an operation completes within
 // O(kSlots * N) steps of ANY thread executing the protocol (N = number of
@@ -156,6 +159,14 @@ static_assert(sizeof(AtomicSeqVal) == 16);
 /// step bound (see header comment).
 template <typename T, std::uint32_t kSlots = 64>
 class WfQueue {
+  // The enqueue stamp packs (phase << 8 | slot) into one word, so the
+  // phase finish_tail reconstructs is truncated to 56 bits -- an ABSOLUTE
+  // lifetime bound of 2^56 enqueues per queue (roughly two years at a
+  // sustained 10^9 ops/s), after which the completion CAS would stop
+  // matching and the owner would spin.  Stated separately from the
+  // library-wide 2^32 ABA regime because that one is a RELATIVE bound
+  // (2^32 interleaving operations within one read-CAS window), while this
+  // one accumulates over the queue's whole life.
   static_assert(kSlots >= 1 && kSlots <= 256,
                 "enqueue stamps pack the slot into 8 bits");
   static_assert(sizeof(T) <= 8, "values must fit the 16-byte result cell");
@@ -317,7 +328,9 @@ class WfQueue {
     // tag is monotone for the node's whole lifetime.
     tagged::AtomicTagged claim;
     // (phase << 8 | slot) of the enqueue that inserted this node; lets
-    // any helper that finds the node linked complete that enqueue.
+    // any helper that finds the node linked complete that enqueue.  The
+    // packing truncates the phase to 56 bits -- see the lifetime-bound
+    // comment at the kSlots static_assert.
     // share-ok: written only while the node is private, read-mostly after
     std::atomic<std::uint64_t> enq_stamp{0};
   };
@@ -497,6 +510,11 @@ class WfQueue {
     if (claim.is_null()) return;
     const tagged::TaggedIndex next = dummy.next.load(std::memory_order_acquire);
     if (next.is_null()) return;  // stale view of a recycled node
+    // A thread halted HERE holds a possibly ancient view of Head and this
+    // node's claim/next; everything it does below is guarded against that
+    // (tests/fault_tolerance_test.cpp parks a victim here and replays the
+    // consumed-freed-recycled dummy scenario against it).
+    MSQ_PROBE("wfq.finish");
     const std::uint32_t slot = claim.index() % kSlots;
     Descriptor& d = desc_[slot];
     const wf_detail::SeqVal r = d.result.load(std::memory_order_seq_cst);
@@ -513,10 +531,31 @@ class WfQueue {
             std::memory_order_acq_rel);
         tk = d.taken.load(std::memory_order_acquire);
       }
-      if (tk != tagged::TaggedIndex(first.index(), first.count())) return;
-      // Head is pinned at `first` until this operation leaves pending
-      // (every Head swing requires a resolved kDoneDeq below), so the
-      // first node and its value are stable for this read.
+      if (tk != tagged::TaggedIndex(first.index(), first.count())) {
+        // Bound to some OTHER dummy incarnation -- either our `first` is
+        // stale (binding is live: leave it), or the binding itself is
+        // stale pollution that would wedge the operation (clear it).
+        unbind_if_stale(d, tk);
+        return;
+      }
+      // Deposit guard.  `r` was re-read above, so the phase guard alone
+      // cannot reject a stale helper: if our `first` predates a swing, the
+      // dummy may have been consumed, freed and recycled, its dangling
+      // claim may point at a slot now reused by a FRESH pending dequeue
+      // (whose taken our CAS above just polluted), and `next` may be a
+      // free-list link or mid-queue edge -- depositing would complete the
+      // new operation with a garbage or duplicate value while removing
+      // nothing.  Head's tag is bumped by every swing, so equality with
+      // `first` proves no swing intervened: `first` is the LIVE dummy
+      // incarnation, our binding is genuine, and from here Head stays
+      // pinned until this operation leaves kPendingDeq (every swing
+      // requires a resolved kDoneDeq with a matching binding), making the
+      // value read below stable.  The polluted-taken case this guard
+      // abandons is cleaned up by unbind_if_stale on any later pass.
+      if (head_.value.load(std::memory_order_seq_cst) !=
+          tagged::TaggedIndex(first.index(), first.count())) {
+        return;
+      }
       const T value = pool_[next.index()].value.get();
       std::uint64_t bits = 0;
       std::memcpy(&bits, &value, sizeof(T));
@@ -553,6 +592,27 @@ class WfQueue {
       dummy.claim.compare_and_swap(claim, claim.successor(tagged::kNullIndex),
                                    std::memory_order_acq_rel);
     }
+  }
+
+  /// Clear a taken-binding left by a stale helper, so the pending dequeue
+  /// it pollutes can be re-bound instead of wedging forever.  Staleness
+  /// proof: Head's tag is globally monotone (bumped by every successful
+  /// swing) and a non-null binding is always the copy of a genuine Head
+  /// read, so a binding whose tag differs from the live Head's names an
+  /// incarnation Head can never show again.  Crucially the converse holds
+  /// too: between a deposit and the swing that retires it, the consumed
+  /// binding's tag still EQUALS Head's (the swing is what bumps it), so a
+  /// consumed-but-unswung binding is never cleared here -- clearing one
+  /// would let the same dummy be claimed and deposited twice.  The tag
+  /// comparison shares the library-wide 2^32 ABA regime.
+  void unbind_if_stale(Descriptor& d, tagged::TaggedIndex tk) noexcept {
+    if (tk.is_null()) return;
+    const tagged::TaggedIndex h = head_.value.load(std::memory_order_seq_cst);
+    if (tk.count() == h.count()) return;  // live (or plausibly live): keep
+    MSQ_PROBE("wfq.unbind");
+    d.taken.compare_and_swap(
+        tk, tagged::TaggedIndex(tagged::kNullIndex, tk.count() + 1),
+        std::memory_order_acq_rel);
   }
 
   /// Owner-side epilogue of a successful dequeue: before the slot can be

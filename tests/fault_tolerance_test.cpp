@@ -888,8 +888,8 @@ TEST(RealThreadFaults, WfSurvivorsCompleteWhileVictimHaltedInsideHelping) {
   // deposit, and at the tail/head swing.  A parked helper holds only its
   // own descriptor slot -- survivors must complete full workloads, and
   // every item (including the victim's own completed ops) is conserved.
-  constexpr std::array<const char*, 4> kSites = {"wfq.link", "wfq.claim",
-                                                 "wfq.deposit", "wfq.swing"};
+  constexpr std::array<const char*, 5> kSites = {
+      "wfq.link", "wfq.claim", "wfq.finish", "wfq.deposit", "wfq.swing"};
   for (const char* site : kSites) {
     SCOPED_TRACE(site);
     fault::Watchdog watchdog(60s,
@@ -938,6 +938,104 @@ TEST(RealThreadFaults, WfSurvivorsCompleteWhileVictimHaltedInsideHelping) {
     EXPECT_EQ(dequeued.load() + drained, enqueued.load());
     plan.disarm();
   }
+}
+
+TEST(RealThreadFaults, StaleHelperCannotDepositIntoARecycledDummysNewOp) {
+  // Deterministic replay of the recycled-dummy hazard the taken-binding's
+  // live-Head deposit guard exists for.  Choreography: helper V parks
+  // inside finish_deq (site wfq.finish) holding a Head read of dummy D0
+  // and D0's claim, which names thread O's descriptor slot.  While V is
+  // parked, O's dequeue is completed by main (D0 consumed, freed), D0 is
+  // RE-ENQUEUED mid-queue, and O -- same thread, same slot -- announces a
+  // fresh dequeue that parks pending with its taken reset to null.  V then
+  // resumes: it re-reads the reused slot's CURRENT pending announcement,
+  // so the phase guard alone cannot reject it, and its binding CAS writes
+  // the dead {D0, old-Head-tag} incarnation.  Without the deposit guard V
+  // completes O's new dequeue with the PREVIOUS dummy's already-delivered
+  // value (a duplicate, removing nothing); without stale-binding recovery
+  // the polluted taken wedges O's dequeue forever (the Watchdog would
+  // fire).  With both, O's second dequeue must deliver the real front
+  // value and the queue must conserve items exactly.
+  constexpr std::uint64_t kX = 101, kP = 202, kQ = 303;
+  fault::Watchdog watchdog(60s, "WfQueue stale-helper deposit guard");
+  queues::WfQueue<std::uint64_t> queue(64);
+  ASSERT_TRUE(queue.try_enqueue(kX));  // D0(dummy) -> nX
+
+  // Act 1: O announces a dequeue and parks before taking another step.
+  fault::FaultPlan plan_o1;
+  plan_o1.halt_at("wfq.announce");
+  plan_o1.arm();
+  std::atomic<int> o_gate{0};
+  std::atomic<std::uint64_t> o_first{0}, o_second{0};
+  std::atomic<bool> o_first_ok{false}, o_second_ok{false};
+  std::thread o([&] {
+    std::uint64_t out = 0;
+    o_first_ok.store(queue.try_dequeue(out));
+    o_first.store(out);
+    o_gate.store(1);
+    while (o_gate.load() != 2) std::this_thread::yield();
+    out = 0;
+    o_second_ok.store(queue.try_dequeue(out));
+    o_second.store(out);
+  });
+  plan_o1.wait_for_halted(1);
+  plan_o1.disarm();
+
+  // Act 2: V's dequeue helps O's lower-phase op -- it claims D0 for O's
+  // slot, then parks inside finish_deq with claim and next already read.
+  fault::FaultPlan plan_v;
+  plan_v.halt_at("wfq.finish");
+  plan_v.arm();
+  std::atomic<bool> v_got{true};
+  std::thread v([&] {
+    std::uint64_t out = 0;
+    v_got.store(queue.try_dequeue(out));
+  });
+  plan_v.wait_for_halted(1);
+  plan_v.disarm();
+
+  // Act 3: main finishes O's op (deposits kX, swings Head, frees D0) and
+  // resolves V's announced dequeue as empty; its own dequeue reads empty.
+  std::uint64_t out = 0;
+  EXPECT_FALSE(queue.try_dequeue(out));
+
+  // Act 4: O harvests kX and returns; D0 is re-enqueued (the free list is
+  // LIFO, so the first allocation re-uses it) and sits mid-queue with a
+  // live next edge and its claim still dangling at O's slot.
+  plan_o1.release_halted();
+  while (o_gate.load() != 1) std::this_thread::yield();
+  EXPECT_TRUE(o_first_ok.load());
+  EXPECT_EQ(o_first.load(), kX);
+  ASSERT_TRUE(queue.try_enqueue(kP));  // re-allocates D0
+  ASSERT_TRUE(queue.try_enqueue(kQ));
+
+  // Act 5: O announces its second dequeue in the SAME slot (same thread,
+  // same hint; the slot was harvested) and parks with the op pending.
+  fault::FaultPlan plan_o2;
+  plan_o2.halt_at("wfq.announce");
+  plan_o2.arm();
+  o_gate.store(2);
+  plan_o2.wait_for_halted(1);
+  plan_o2.disarm();
+
+  // Act 6: release V.  Its stale view targets exactly O's pending op; the
+  // deposit guard must turn it away without completing anything.
+  plan_v.release_halted();
+  v.join();
+  EXPECT_FALSE(v_got.load()) << "V's own dequeue should have read empty";
+
+  // Act 7: release O.  Its helping must recover from whatever binding V
+  // left behind and deliver the true front value.
+  plan_o2.release_halted();
+  o.join();
+  EXPECT_TRUE(o_second_ok.load());
+  EXPECT_EQ(o_second.load(), kP)
+      << "stale helper completed the new dequeue with a recycled value";
+
+  // Conservation: exactly kQ remains.
+  EXPECT_TRUE(queue.try_dequeue(out));
+  EXPECT_EQ(out, kQ);
+  EXPECT_FALSE(queue.try_dequeue(out));
 }
 
 TEST(RealThreadFaults, StallRuleBindsOneStickyVictimAndAccountsTime) {
