@@ -34,6 +34,7 @@
 #include "obs/counters.hpp"
 #include "obs/report.hpp"
 #include "queues/queues.hpp"
+#include "scenario/stamped_loop.hpp"
 
 namespace msq::bench {
 namespace {
@@ -46,6 +47,8 @@ struct SweepPoint {
   std::uint64_t ops = 0;
   std::uint64_t empty_dequeues = 0;
   std::uint64_t enqueue_failures = 0;
+  std::uint64_t p99_ns = 0;   // item sojourn (submit stamp -> dequeue)
+  std::uint64_t p999_ns = 0;  // ^
   obs::Snapshot counters;
 };
 
@@ -54,19 +57,24 @@ struct SweepSeries {
   std::vector<SweepPoint> points;
 };
 
+/// One sweep point on the SHARED stamped pair loop (scenario/
+/// stamped_loop.hpp -- the same stamping and sojourn convention as
+/// fig_stall and the open-loop scenarios), so this sweep reports tail
+/// sojourn next to throughput instead of private re-derivations.
 template <typename Q>
-harness::WorkloadResult run_one(std::uint32_t threads,
-                                const FigConfig& config) {
-  harness::WorkloadConfig wc;
-  wc.threads = threads;
-  wc.total_pairs = config.pairs;
-  wc.pin_threads = config.pin;
-  wc.other_work_iters = harness::spin_iters_for_us(6.0);  // paper: ~6us
+scenario::StampedLoopResult run_one(std::uint32_t threads,
+                                    const FigConfig& config) {
+  scenario::StampedLoopConfig loop;
+  loop.threads = threads;
+  loop.pairs = config.pairs;
+  loop.pin_threads = config.pin;
+  loop.think_iters = harness::spin_iters_for_us(6.0);  // paper: ~6us
   Q queue(threads * 4 + 64);
-  return harness::run_workload(queue, wc);
+  return scenario::run_stamped_pairs(queue, loop);
 }
 
-using RunFn = harness::WorkloadResult (*)(std::uint32_t, const FigConfig&);
+using RunFn = scenario::StampedLoopResult (*)(std::uint32_t,
+                                              const FigConfig&);
 
 /// Map a runtime shard count onto the compile-time instantiations.
 RunFn sharded_run_fn(std::uint32_t shards) {
@@ -159,6 +167,26 @@ void print_counter_tables(const FigConfig& config,
       table.print(std::cout);
     }
   }
+
+  // Tail sojourn from the shared stamped loop: does spreading the
+  // contention across shards also flatten the item-latency tail?
+  harness::SeriesTable tail(
+      "p99.9 item sojourn, ns (submit -> dequeue)  [real]", "procs");
+  std::vector<std::size_t> cols;
+  cols.reserve(series.size());
+  for (const SweepSeries& s : series) cols.push_back(tail.add_series(s.algo));
+  const std::size_t rows = series.empty() ? 0 : series.front().points.size();
+  for (std::size_t r = 0; r < rows; ++r) {
+    tail.add_row(series.front().points[r].procs);
+    for (std::size_t a = 0; a < series.size(); ++a) {
+      tail.set(cols[a], static_cast<double>(series[a].points[r].p999_ns));
+    }
+  }
+  if (config.csv) {
+    tail.print_csv(std::cout);
+  } else {
+    tail.print(std::cout);
+  }
 }
 
 void write_json(const FigConfig& config,
@@ -213,6 +241,10 @@ void write_json(const FigConfig& config,
       w.value(p.empty_dequeues);
       w.key("enqueue_failures");
       w.value(p.enqueue_failures);
+      w.key("p99_ns");
+      w.value(p.p99_ns);
+      w.key("p999_ns");
+      w.value(p.p999_ns);
       w.key("counters");
       obs::write_counters_json(w, p.counters, p.ops);
       w.end_object();
@@ -257,17 +289,28 @@ int run(const FigConfig& config, const std::vector<std::uint32_t>& shards) {
       // control run showed the wrapper "beating" its own inner queue).
       (void)variants[a].run(threads, config);
       const obs::Snapshot before = obs::snapshot();
-      const harness::WorkloadResult result =
+      const scenario::StampedLoopResult result =
           variants[a].run(threads, config);
-      table.set(cols[a], result.net_seconds * scale);
+      // Net time as before: elapsed minus one processor's "other work"
+      // (the stamped loop spins think_iters twice per pair, matching the
+      // two-spin iterations other_work_seconds measures).
+      const double net_seconds =
+          result.elapsed_seconds -
+          harness::other_work_seconds(
+              harness::spin_iters_for_us(6.0),
+              static_cast<double>(config.pairs) /
+                  static_cast<double>(threads));
+      table.set(cols[a], net_seconds * scale);
 
       SweepPoint point;
       point.procs = threads;
-      point.net_seconds_per_million = result.net_seconds * scale;
+      point.net_seconds_per_million = net_seconds * scale;
       point.ops = result.enqueues + result.dequeues + result.empty_dequeues +
                   result.enqueue_failures;
       point.empty_dequeues = result.empty_dequeues;
       point.enqueue_failures = result.enqueue_failures;
+      point.p99_ns = result.sojourn_ns.percentile(99.0);
+      point.p999_ns = result.sojourn_ns.percentile(99.9);
       point.counters = obs::snapshot() - before;
       series[a].points.push_back(point);
     }

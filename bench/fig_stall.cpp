@@ -54,7 +54,6 @@
 //                        0,1000; 0 = unstalled baseline; up to 10000)
 //   --only NAME          run a single variant (msq/segq/shard4/wfq);
 //                        bisection and CI smoke runs
-#include <barrier>
 #include <chrono>
 #include <cstdint>
 #include <cstdlib>
@@ -62,7 +61,6 @@
 #include <fstream>
 #include <iostream>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "fault/fault_plan.hpp"
@@ -70,12 +68,11 @@
 #include "fig_common.hpp"
 #include "harness/calibrate.hpp"
 #include "harness/table.hpp"
-#include "port/spin_work.hpp"
 #include "obs/counters.hpp"
 #include "obs/histogram.hpp"
 #include "obs/report.hpp"
-#include "port/clock.hpp"
 #include "queues/queues.hpp"
+#include "scenario/stamped_loop.hpp"
 
 namespace msq::bench {
 namespace {
@@ -99,31 +96,16 @@ struct StallSeries {
   std::vector<StallPoint> points;
 };
 
-struct RunResult {
-  double elapsed_seconds = 0;
-  std::uint64_t enqueues = 0;
-  std::uint64_t dequeues = 0;
-  std::uint64_t empty_dequeues = 0;
-  std::uint64_t enqueue_failures = 0;
-  std::uint64_t injected_ns = 0;
-  obs::Histogram sojourn_ns;
-};
-
-/// The paper's paired loop, with items carrying their submission stamp and
-/// the dequeue side retrying until it lands an item (conservation makes an
-/// item always eventually available: at any block point the blocked thread
-/// has one more enqueue than dequeue in flight).
-///
-/// Run shape: every thread keeps doing pairs until EVERY thread has
-/// reached its quota.  A fixed per-thread quota alone would let the
-/// unstalled threads finish in milliseconds and exit, leaving the victim
-/// helper-less for ~99% of its (stall-dominated) run -- which silently
-/// turns every multi-thread point into the lone-thread case and erases
-/// exactly the effect this figure measures.  Keeping helpers alive until
-/// the victim finishes is the honest model of a service under load.
+/// One stalled point: arm the fault plan around the SHARED stamped pair
+/// loop (scenario::run_stamped_pairs -- the run-until-all-quota shape,
+/// stamping convention, and sojourn recording live there now, common to
+/// fig_stall, fig_sharded, and the open-loop driver's closed-loop
+/// companion).  This bench keeps only what is its own: the sticky-victim
+/// stall choreography and the generous watchdog budget it requires.
 template <typename Q>
-RunResult run_stall(const char* site, std::uint32_t threads,
-                    std::uint64_t stall_us, const FigConfig& config) {
+scenario::StampedLoopResult run_stall(const char* site, std::uint32_t threads,
+                                      std::uint64_t stall_us,
+                                      const FigConfig& config) {
   Q queue(threads * 4 + 64);
 
   fault::FaultPlan plan;
@@ -145,84 +127,21 @@ RunResult run_stall(const char* site, std::uint32_t threads,
   const auto deadline =
       std::chrono::milliseconds(60'000 + config.pairs * stall_us / 250);
   fault::Watchdog watchdog(deadline, "fig_stall run");
-  const std::uint64_t think_iters = harness::spin_iters_for_us(6.0);
 
-  struct Shard {
-    obs::Histogram sojourn_ns;
-    std::uint64_t enq = 0, deq = 0, empty = 0, fail = 0, injected = 0;
-  };
-  std::vector<Shard> shards(threads);
-  std::barrier start_barrier(static_cast<std::ptrdiff_t>(threads) + 1);
-  // share-ok: run-termination handshake, touched once per pair
-  std::atomic<std::uint32_t> at_quota{0};
-  std::atomic<bool> stop{false};  // share-ok: ^
-
-  auto worker = [&](std::uint32_t t) {
-    Shard& shard = shards[t];
-    const std::uint64_t quota =
-        config.pairs / threads + (t < config.pairs % threads ? 1 : 0);
-    std::uint64_t done = 0;
-    bool counted = false;
-    const std::uint64_t injected_before = fault::injected_stall_ns();
-    start_barrier.arrive_and_wait();
-    // relaxed: the stop flag carries no data; pair results are merged
-    // only after the join
-    while (!stop.load(std::memory_order_relaxed)) {
-      const std::uint64_t stamp = static_cast<std::uint64_t>(port::now_ns());
-      while (!queue.try_enqueue(stamp)) {
-        MSQ_PROBE("bench.enq_retry");
-        ++shard.fail;
-        std::this_thread::yield();  // single-core host: spinning starves
-      }
-      ++shard.enq;
-      port::spin_work(think_iters);  // the paper's ~6us "other work"
-      std::uint64_t out = 0;
-      while (!queue.try_dequeue(out)) {
-        MSQ_PROBE("bench.deq_retry");
-        ++shard.empty;
-        std::this_thread::yield();
-      }
-      ++shard.deq;
-      shard.sojourn_ns.record(static_cast<std::uint64_t>(port::now_ns()) -
-                              out);
-      if (!counted && ++done >= quota) {
-        counted = true;
-        // acq_rel: the last thread to reach quota must observe every
-        // earlier arrival before declaring the run over
-        if (at_quota.fetch_add(1, std::memory_order_acq_rel) + 1 == threads) {
-          // relaxed: see the load above
-          stop.store(true, std::memory_order_relaxed);
-        }
-      }
-    }
-    shard.injected = fault::injected_stall_ns() - injected_before;
-  };
-
-  RunResult result;
-  {
-    std::vector<std::jthread> workers;
-    workers.reserve(threads);
-    for (std::uint32_t t = 0; t < threads; ++t) workers.emplace_back(worker, t);
-    start_barrier.arrive_and_wait();
-    const std::int64_t t0 = port::now_ns();
-    workers.clear();  // join all
-    result.elapsed_seconds = port::ns_to_seconds(port::now_ns() - t0);
-  }
+  scenario::StampedLoopConfig loop;
+  loop.threads = threads;
+  loop.pairs = config.pairs;
+  loop.think_iters = harness::spin_iters_for_us(6.0);  // paper's ~6us
+  loop.pin_threads = config.pin;
+  scenario::StampedLoopResult result =
+      scenario::run_stamped_pairs(queue, loop);
   plan.disarm();
-
-  for (const Shard& shard : shards) {
-    result.sojourn_ns.merge(shard.sojourn_ns);
-    result.enqueues += shard.enq;
-    result.dequeues += shard.deq;
-    result.empty_dequeues += shard.empty;
-    result.enqueue_failures += shard.fail;
-    result.injected_ns += shard.injected;
-  }
   return result;
 }
 
-using RunFn = RunResult (*)(const char*, std::uint32_t, std::uint64_t,
-                            const FigConfig&);
+using RunFn = scenario::StampedLoopResult (*)(const char*, std::uint32_t,
+                                              std::uint64_t,
+                                              const FigConfig&);
 
 struct Variant {
   std::string name;
@@ -436,7 +355,8 @@ int run(const FigConfig& config, const std::vector<std::uint64_t>& stalls,
         // warmup exists for the memory system, not the fault layer.
         (void)v.run(v.site, threads, 0, config);
         const obs::Snapshot before = obs::snapshot();
-        const RunResult r = v.run(v.site, threads, us, config);
+        const scenario::StampedLoopResult r =
+            v.run(v.site, threads, us, config);
 
         StallPoint point;
         point.procs = threads;
@@ -447,7 +367,7 @@ int run(const FigConfig& config, const std::vector<std::uint64_t>& stalls,
         point.enqueue_failures = r.enqueue_failures;
         point.p99_ns = r.sojourn_ns.percentile(99.0);
         point.p999_ns = r.sojourn_ns.percentile(99.9);
-        point.injected_ns = r.injected_ns;
+        point.injected_ns = r.injected_stall_ns;
         point.counters = obs::snapshot() - before;
         all_series[series_idx++].points.push_back(point);
       }

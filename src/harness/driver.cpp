@@ -28,6 +28,19 @@ bool pin_current_thread(std::uint32_t cpu) noexcept {
 #endif
 }
 
+std::int64_t await_deadline_ns(std::int64_t deadline_ns) noexcept {
+  std::int64_t now = port::now_ns();
+  if (now >= deadline_ns) return now - deadline_ns;
+  // Coarse waits sleep-yield; the last microsecond busy-polls so pacing
+  // jitter stays well under the arrival intervals the scenarios use.
+  while (deadline_ns - now > 1'000) {
+    std::this_thread::yield();
+    now = port::now_ns();
+  }
+  while (now < deadline_ns) now = port::now_ns();
+  return 0;
+}
+
 double other_work_seconds(std::uint64_t iters_per_spin, double pairs) {
   if (iters_per_spin == 0) return 0;
 

@@ -72,6 +72,15 @@ struct WorkloadResult {
 /// optimisation, never a correctness requirement.
 bool pin_current_thread(std::uint32_t cpu) noexcept;
 
+/// Open-loop pacing hook (src/scenario): wait until port::now_ns() reaches
+/// `deadline_ns`, yielding rather than spinning so a single-core host can
+/// run the consumers this thread is pacing against.  Returns the lateness
+/// in nanoseconds (0 when the deadline was met; positive when the caller
+/// fell behind schedule and the wait was a no-op).  Lateness is what the
+/// coordinated-omission-safe drivers record: the op is stamped with the
+/// intended deadline, never with the late return time.
+std::int64_t await_deadline_ns(std::int64_t deadline_ns) noexcept;
+
 /// Run the paper's loop against `queue`.  The queue must hold std::uint64_t
 /// values (the harness encodes producer/sequence in them).
 template <queues::ConcurrentQueue Q>

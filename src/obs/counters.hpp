@@ -73,9 +73,12 @@ enum class Counter : std::uint32_t {
   kShardRehome,   // producer hint re-homed after repeated full shards
   kEmptyRescan,   // empty sweeps re-run because a shard ticket moved
   kWfHelp,        // wait-free helping episodes (another slot's op completed)
+  kQueueFull,     // bounded-capacity enqueue refusals (ring full, not pool)
+  kShedRetry,     // open-loop producer retries after an enqueue refusal
+  kShed,          // open-loop offered ops dropped after the retry budget
 };
 
-inline constexpr std::size_t kCounterCount = 23;
+inline constexpr std::size_t kCounterCount = 26;
 
 inline constexpr std::array<Counter, kCounterCount> kAllCounters = {
     Counter::kEnqueue,      Counter::kDequeue,    Counter::kDequeueEmpty,
@@ -85,7 +88,8 @@ inline constexpr std::array<Counter, kCounterCount> kAllCounters = {
     Counter::kRaceReport,   Counter::kPoolCasRetry, Counter::kSegClose,
     Counter::kMagHit,       Counter::kMagRefill,  Counter::kMagFlush,
     Counter::kShardHit,     Counter::kShardSteal, Counter::kShardRehome,
-    Counter::kEmptyRescan,  Counter::kWfHelp};
+    Counter::kEmptyRescan,  Counter::kWfHelp,     Counter::kQueueFull,
+    Counter::kShedRetry,    Counter::kShed};
 
 [[nodiscard]] constexpr const char* counter_name(Counter c) noexcept {
   switch (c) {
@@ -112,6 +116,9 @@ inline constexpr std::array<Counter, kCounterCount> kAllCounters = {
     case Counter::kShardRehome:  return "shard_rehome";
     case Counter::kEmptyRescan:  return "empty_rescan";
     case Counter::kWfHelp:       return "wf_help";
+    case Counter::kQueueFull:    return "queue_full";
+    case Counter::kShedRetry:    return "shed_retry";
+    case Counter::kShed:         return "shed";
   }
   return "?";
 }

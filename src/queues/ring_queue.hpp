@@ -73,6 +73,10 @@ class RingQueue {
         // relaxed: fullness estimate; a stale read only delays the verdict
         if (deq_ticket_.load(std::memory_order_relaxed) + capacity_ <= ticket) {
           MSQ_COUNT(kPoolRefuse);  // bounded ring's analogue of pool refusal
+          // Distinct from pool_refuse: queue_full is the backpressure signal
+          // the open-loop shed policy keys off (src/scenario/driver.hpp) --
+          // capacity reached, as opposed to an allocator running dry.
+          MSQ_COUNT(kQueueFull);
           return false;
         }
         // A dequeuer is mid-handshake on this slot; wait for it (blocking).

@@ -1,0 +1,170 @@
+// Open-loop scenario subsystem, part 1: virtual-time arrival schedules.
+//
+// Every bench in bench/fig_*.cpp is CLOSED-loop in the paper's section 4
+// style: each thread issues its next operation the instant the previous
+// one returns, so the offered load automatically slows down whenever the
+// queue does.  Real services are OPEN-loop -- users do not politely stop
+// clicking because the backend got slow -- and measuring an open-loop
+// system with closed-loop timestamps is the classic coordinated-omission
+// mistake: the slow periods generate fewer samples exactly when latency is
+// worst.
+//
+// This header generates the arrival side of an open-loop run entirely in
+// VIRTUAL time, before any thread starts: a deterministic (seeded) Poisson
+// process whose instantaneous rate follows one of three shapes --
+//
+//   kSteady    r(t) = base                       (stationary Poisson)
+//   kDiurnal   r(t) = base * (1 + A*sin(2*pi*t/T - pi/2))
+//                                                 (a compressed "day":
+//                                                  trough, peak, trough)
+//   kBurst     r(t) = base, except burst_factor * base inside the window
+//              [burst_start, burst_start + burst_len)   (flash crowd)
+//
+// -- with each arrival assigned to a producer either uniformly or with a
+// hot-producer skew (producer 0 receives `hot_share` of the traffic).
+//
+// The schedule is materialised up front (per-producer sorted offsets, in
+// nanoseconds from run start) so that (a) generation is single-threaded
+// and deterministic given a seed, (b) the driver's producers never
+// coordinate at run time, and (c) tests can inspect the exact schedule a
+// run will offer.  Each op's INTENDED arrival time is its identity: the
+// driver stamps the op with the scheduled time even when it submits late,
+// which is what makes the sojourn histograms coordinated-omission-safe
+// (see driver.hpp).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "port/prng.hpp"
+
+namespace msq::scenario {
+
+enum class RateShape { kSteady, kDiurnal, kBurst };
+
+[[nodiscard]] constexpr const char* rate_shape_name(RateShape s) noexcept {
+  switch (s) {
+    case RateShape::kSteady:  return "steady";
+    case RateShape::kDiurnal: return "diurnal";
+    case RateShape::kBurst:   return "burst";
+  }
+  return "?";
+}
+
+/// Parameters of one arrival process.  Fractions are of the nominal run
+/// horizon (ops / mean rate), so the same shape scales from a smoke run to
+/// a long sweep without retuning.
+struct ArrivalSpec {
+  std::uint64_t ops = 10'000;     // total offered operations
+  double base_rate_hz = 25'000;   // off-peak arrival rate
+  RateShape shape = RateShape::kSteady;
+  double diurnal_amplitude = 0.75;  // kDiurnal: peak = base*(1+A), trough
+                                    // = base*(1-A); A in [0, 1)
+  double burst_factor = 100.0;      // kBurst: rate multiplier in-window
+  double burst_start_frac = 0.45;   // kBurst: window start, fraction of T
+  double burst_len_frac = 0.10;     // kBurst: window length, fraction of T
+  std::uint32_t producers = 2;
+  double hot_share = 0.0;  // 0 = uniform producer choice; else the
+                           // probability that producer 0 owns an arrival
+                           // (remaining mass uniform over producers 1..P-1)
+};
+
+/// Mean rate over one nominal horizon (exact for the three shapes: the
+/// diurnal sine integrates to zero over a full period).
+[[nodiscard]] inline double mean_rate_hz(const ArrivalSpec& spec) noexcept {
+  if (spec.shape == RateShape::kBurst) {
+    return spec.base_rate_hz *
+           (1.0 + (spec.burst_factor - 1.0) * spec.burst_len_frac);
+  }
+  return spec.base_rate_hz;
+}
+
+/// Nominal horizon: the virtual duration over which `ops` arrivals are
+/// expected.  Shape fractions (burst window, diurnal period) refer to it.
+[[nodiscard]] inline double nominal_horizon_seconds(
+    const ArrivalSpec& spec) noexcept {
+  return static_cast<double>(spec.ops) / mean_rate_hz(spec);
+}
+
+/// Instantaneous rate r(t) at `t` seconds into the run.  Beyond the
+/// nominal horizon (the Poisson tail when the draw ran long) the shape is
+/// held at its final value so generation always terminates.
+[[nodiscard]] inline double rate_at_hz(const ArrivalSpec& spec,
+                                       double t_seconds) noexcept {
+  const double horizon = nominal_horizon_seconds(spec);
+  const double t = t_seconds < horizon ? t_seconds : horizon;
+  switch (spec.shape) {
+    case RateShape::kSteady:
+      return spec.base_rate_hz;
+    case RateShape::kDiurnal: {
+      constexpr double kPi = 3.14159265358979323846;
+      const double phase = 2.0 * kPi * t / horizon - kPi / 2.0;
+      return spec.base_rate_hz *
+             (1.0 + spec.diurnal_amplitude * std::sin(phase));
+    }
+    case RateShape::kBurst: {
+      const double start = spec.burst_start_frac * horizon;
+      const double end = start + spec.burst_len_frac * horizon;
+      return (t >= start && t < end) ? spec.base_rate_hz * spec.burst_factor
+                                     : spec.base_rate_hz;
+    }
+  }
+  return spec.base_rate_hz;
+}
+
+/// The materialised schedule: per-producer arrival offsets (ns from run
+/// start), each producer's list sorted ascending.
+struct ArrivalSchedule {
+  std::vector<std::vector<std::uint64_t>> per_producer;
+  std::uint64_t ops = 0;         // sum of the per-producer list sizes
+  std::uint64_t horizon_ns = 0;  // last arrival offset actually drawn
+  double offered_rate_hz = 0;    // ops / max(horizon, nominal horizon)
+};
+
+/// Draw the schedule.  Deterministic given (spec, seed).  Inhomogeneous
+/// Poisson via per-arrival rate lookup: the next inter-arrival gap is
+/// Exp(1) / r(t), which is exact for piecewise-constant shapes up to the
+/// gap straddling a boundary -- plenty for benchmark traffic.
+[[nodiscard]] inline ArrivalSchedule generate_arrivals(
+    const ArrivalSpec& spec, std::uint64_t seed) {
+  ArrivalSchedule schedule;
+  schedule.per_producer.resize(spec.producers);
+  port::Xoshiro256 rng(seed);
+  const double inv_2_64 = 1.0 / 18446744073709551616.0;  // 2^-64
+
+  double t = 0;  // virtual seconds
+  for (std::uint64_t i = 0; i < spec.ops; ++i) {
+    // u in (0, 1]: never 0, so -log(u) is finite.
+    const double u =
+        (static_cast<double>(rng()) + 1.0) * inv_2_64;
+    const double rate = rate_at_hz(spec, t);
+    t += -std::log(u) / rate;
+
+    std::uint32_t producer = 0;
+    if (spec.producers > 1) {
+      const double v = static_cast<double>(rng()) * inv_2_64;
+      if (spec.hot_share > 0) {
+        producer = v < spec.hot_share
+                       ? 0
+                       : 1 + static_cast<std::uint32_t>(
+                                 rng() % (spec.producers - 1));
+      } else {
+        producer = static_cast<std::uint32_t>(rng() % spec.producers);
+      }
+    }
+    const auto offset_ns = static_cast<std::uint64_t>(t * 1e9);
+    schedule.per_producer[producer].push_back(offset_ns);
+    schedule.horizon_ns = offset_ns;
+  }
+  schedule.ops = spec.ops;
+  const double horizon_s =
+      std::max(static_cast<double>(schedule.horizon_ns) * 1e-9,
+               nominal_horizon_seconds(spec));
+  schedule.offered_rate_hz =
+      horizon_s > 0 ? static_cast<double>(spec.ops) / horizon_s : 0;
+  return schedule;
+}
+
+}  // namespace msq::scenario

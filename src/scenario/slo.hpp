@@ -1,0 +1,69 @@
+// Open-loop scenario subsystem, part 4: SLO verdicts.
+//
+// A scenario run ends with a queueing-delay histogram and a shed count;
+// an operator ends with a yes/no question: "did the system serve this
+// traffic within its service-level objective?"  This header turns the
+// former into the latter -- three machine-checkable clauses (p99 sojourn,
+// p99.9 sojourn, shed rate) evaluated against per-preset targets, so a
+// bench run, a CI job, or a regression diff can gate on `verdict ==
+// "pass"` instead of a human eyeballing a table.
+//
+// The sojourn percentiles come from coordinated-omission-safe histograms
+// (driver.hpp stamps ops with their SCHEDULED arrival), so a failing p99.9
+// here means real users would have waited that long -- not merely that the
+// loadgen slowed down with the system.
+#pragma once
+
+#include <cstdint>
+
+#include "obs/histogram.hpp"
+
+namespace msq::scenario {
+
+/// Per-preset targets.  `shed_rate_max` is a fraction of OFFERED ops: a
+/// preset that expects overload (the 100x burst into a bounded queue) sets
+/// it non-zero to assert "backpressure engaged, but bounded"; a steady
+/// preset sets 0 to assert "no drops at all".
+struct SloSpec {
+  std::uint64_t p99_ns_max = 0;   // 0 disables the clause
+  std::uint64_t p999_ns_max = 0;  // 0 disables the clause
+  double shed_rate_max = 0.0;
+};
+
+/// The evaluated verdict: each clause individually, plus the measured
+/// values it was judged on (so reports never need to re-derive them).
+struct SloVerdict {
+  bool p99_ok = true;
+  bool p999_ok = true;
+  bool shed_ok = true;
+  std::uint64_t p99_ns = 0;
+  std::uint64_t p999_ns = 0;
+  double shed_rate = 0.0;
+
+  [[nodiscard]] bool pass() const noexcept {
+    return p99_ok && p999_ok && shed_ok;
+  }
+  [[nodiscard]] const char* verdict() const noexcept {
+    return pass() ? "pass" : "fail";
+  }
+};
+
+/// Judge one run.  `offered` is the scheduled arrival count (enqueued +
+/// shed); an empty histogram with offered == 0 passes vacuously.
+[[nodiscard]] inline SloVerdict evaluate_slo(const SloSpec& spec,
+                                             const obs::Histogram& sojourn_ns,
+                                             std::uint64_t offered,
+                                             std::uint64_t shed) noexcept {
+  SloVerdict v;
+  v.p99_ns = sojourn_ns.percentile(99.0);
+  v.p999_ns = sojourn_ns.percentile(99.9);
+  v.shed_rate = offered == 0 ? 0.0
+                             : static_cast<double>(shed) /
+                                   static_cast<double>(offered);
+  if (spec.p99_ns_max > 0) v.p99_ok = v.p99_ns <= spec.p99_ns_max;
+  if (spec.p999_ns_max > 0) v.p999_ok = v.p999_ns <= spec.p999_ns_max;
+  v.shed_ok = v.shed_rate <= spec.shed_rate_max;
+  return v;
+}
+
+}  // namespace msq::scenario
