@@ -35,19 +35,60 @@
 
 namespace msq::check {
 
+/// The memory-order vocabulary shared by the race tracker, the sim engine
+/// and the mutation table.  One extra rung below C++'s lattice: kPlain is a
+/// NON-ATOMIC access (ordinary data), the thing C++ data races are about.
+/// Everything from kRelaxed up models a std::atomic access with that order.
+enum class MemOrder : std::uint8_t {
+  kPlain,    // non-atomic: racy conflicts on these are reportable
+  kRelaxed,  // atomic, no ordering
+  kAcquire,
+  kRelease,
+  kAcqRel,
+  kSeqCst,
+};
+
+[[nodiscard]] constexpr const char* mem_order_name(MemOrder o) noexcept {
+  switch (o) {
+    case MemOrder::kPlain:   return "plain";
+    case MemOrder::kRelaxed: return "relaxed";
+    case MemOrder::kAcquire: return "acquire";
+    case MemOrder::kRelease: return "release";
+    case MemOrder::kAcqRel:  return "acq_rel";
+    case MemOrder::kSeqCst:  return "seq_cst";
+  }
+  return "?";
+}
+
+/// Does `o` carry acquire semantics on the load side of an access?
+[[nodiscard]] constexpr bool order_acquires(MemOrder o) noexcept {
+  return o == MemOrder::kAcquire || o == MemOrder::kAcqRel ||
+         o == MemOrder::kSeqCst;
+}
+/// Does `o` carry release semantics on the store side of an access?
+[[nodiscard]] constexpr bool order_releases(MemOrder o) noexcept {
+  return o == MemOrder::kRelease || o == MemOrder::kAcqRel ||
+         o == MemOrder::kSeqCst;
+}
+
 /// Which simulated operations carry synchronization (happens-before edges).
 enum class SyncModel : std::uint8_t {
-  kNone,  // no edges at all: the "naive port" that flags every conflict
-  kRmw,   // CAS/FAA/Swap act release-acquire; plain loads/stores are relaxed
-  kFull,  // every access acquires and releases its address: zero races by
-          // construction (models an all-seq_cst implementation)
+  kNone,    // no edges at all: the "naive port" that flags every conflict
+  kRmw,     // CAS/FAA/Swap act release-acquire; plain loads/stores are relaxed
+  kFull,    // every access acquires and releases its address: zero races by
+            // construction (models an all-seq_cst implementation)
+  kOrders,  // each access's DECLARED MemOrder decides its edges: releases
+            // publish, acquires join, and only conflicts involving a kPlain
+            // access are reportable (atomics never race in C++; losing a
+            // needed edge shows up as an unprotected plain access instead)
 };
 
 [[nodiscard]] constexpr const char* sync_model_name(SyncModel m) noexcept {
   switch (m) {
-    case SyncModel::kNone: return "none";
-    case SyncModel::kRmw:  return "rmw";
-    case SyncModel::kFull: return "full";
+    case SyncModel::kNone:   return "none";
+    case SyncModel::kRmw:    return "rmw";
+    case SyncModel::kFull:   return "full";
+    case SyncModel::kOrders: return "orders";
   }
   return "?";
 }
@@ -141,26 +182,51 @@ class HbTracker {
   /// (a failed CAS is a read); `is_rmw` is whether the operation was
   /// CAS/FAA/Swap (synchronizing under SyncModel::kRmw even when it fails,
   /// matching C++ where a failed compare_exchange still loads with its
-  /// failure order).
+  /// failure order).  `order` is the access's declared MemOrder; it is only
+  /// consulted under SyncModel::kOrders, where the load side of an access
+  /// (plain load, or any RMW -- a failed CAS still loads) joins the
+  /// address's sync clock iff the order acquires, and the store side
+  /// publishes iff it mutated the word and the order releases.  seq_cst is
+  /// approximated as acq_rel here; the store-buffer execution mode
+  /// (EngineConfig::weak_memory) is what distinguishes the two.
   void on_access(std::uint32_t proc, const char* label, std::uint32_t addr,
-                 bool is_write, bool is_rmw, std::uint64_t step) {
+                 bool is_write, bool is_rmw, std::uint64_t step,
+                 MemOrder order = MemOrder::kSeqCst) {
     grow(proc);
     AddrState& a = addrs_[addr];
     Clock& c = clocks_[proc];
 
-    const bool sync = model_ == SyncModel::kFull ||
-                      (model_ == SyncModel::kRmw && is_rmw);
-    if (sync) join(c, a.sync);  // acquire: see everything released here
+    bool acq = false;
+    bool rel = false;
+    switch (model_) {
+      case SyncModel::kNone: break;
+      case SyncModel::kRmw:  acq = rel = is_rmw; break;
+      case SyncModel::kFull: acq = rel = true; break;
+      case SyncModel::kOrders:
+        acq = (is_rmw || !is_write) && order_acquires(order);
+        rel = is_write && order_releases(order);
+        break;
+    }
+    if (acq) join(c, a.sync);  // acquire: see everything released here
+
+    // Under kOrders only conflicts involving a non-atomic access are races;
+    // under the legacy models every unordered conflict is reportable.
+    const auto reportable = [&](MemOrder other) {
+      return model_ != SyncModel::kOrders || order == MemOrder::kPlain ||
+             other == MemOrder::kPlain;
+    };
 
     // Detect before recording: is this access ordered after the last
     // write, and (for writes) after every read since that write?
-    if (a.has_write && a.w_proc != proc && a.w_clock > at(c, a.w_proc)) {
+    if (a.has_write && a.w_proc != proc && a.w_clock > at(c, a.w_proc) &&
+        reportable(a.w_order)) {
       log_->report({addr, a.w_proc, a.w_label, true, a.w_step, proc, label,
                     is_write, step});
     }
     if (is_write) {
       for (const ReadEntry& r : a.reads) {
-        if (r.proc != proc && r.clock > at(c, r.proc)) {
+        if (r.proc != proc && r.clock > at(c, r.proc) &&
+            reportable(r.order)) {
           log_->report({addr, r.proc, r.label, false, r.step, proc, label,
                         true, step});
         }
@@ -174,6 +240,7 @@ class HbTracker {
       a.w_clock = now;
       a.w_label = label;
       a.w_step = step;
+      a.w_order = order;
       a.reads.clear();
     } else {
       ReadEntry* mine = nullptr;
@@ -188,10 +255,11 @@ class HbTracker {
       mine->clock = now;
       mine->label = label;
       mine->step = step;
+      mine->order = order;
     }
 
-    if (sync) join(a.sync, c);  // release: publish everything done so far
-    ++c[proc];                  // tick: successive accesses get fresh epochs
+    if (rel) join(a.sync, c);  // release: publish everything done so far
+    ++c[proc];                 // tick: successive accesses get fresh epochs
   }
 
   [[nodiscard]] SyncModel model() const noexcept { return model_; }
@@ -204,6 +272,7 @@ class HbTracker {
     std::uint64_t clock = 0;
     const char* label = "";
     std::uint64_t step = 0;
+    MemOrder order = MemOrder::kSeqCst;
   };
 
   struct AddrState {
@@ -213,6 +282,7 @@ class HbTracker {
     std::uint64_t w_clock = 0;
     const char* w_label = "";
     std::uint64_t w_step = 0;
+    MemOrder w_order = MemOrder::kSeqCst;
     std::vector<ReadEntry> reads;  // reads since the last write
   };
 

@@ -90,7 +90,7 @@ class FreeList {
   void free_chain(std::uint32_t head, std::uint32_t tail) noexcept {
     // Tag monotonicity (see push): bump the tail's own count; the inner
     // chain links are the caller's writes and must bump likewise.
-    // relaxed: the chain is private to the caller until the CAS publishes it
+    // relaxed: the chain is private to the caller until the CAS publishes it (proof: mo-sweep:fl.push_link)
     const std::uint32_t count =
         pool_[tail].next.load(std::memory_order_relaxed).count() + 1;
     for (;;) {
@@ -121,7 +121,7 @@ class FreeList {
     // let a recycled node re-expose an old count, making an arbitrarily
     // stale link CAS succeed (the fig_stall wedge: a thread that slept
     // between reading tail->next and CASing it linked a freed node).
-    // relaxed: the node is private to the caller until the CAS publishes it
+    // relaxed: the node is private to the caller until the CAS publishes it (proof: mo-sweep:fl.push_link)
     const std::uint32_t count =
         pool_[index].next.load(std::memory_order_relaxed).count() + 1;
     for (;;) {

@@ -46,7 +46,7 @@ inline std::uint32_t thread_hint() noexcept {
   // share-ok: touched once per thread lifetime (hint assignment)
   static std::atomic<std::uint32_t> next{0};
   thread_local const std::uint32_t hint =
-      // relaxed: a pure ordinal draw; nothing is published through it
+      // relaxed: a pure ordinal draw; nothing is published through it (proof: test:tests/mem_test.cpp)
       next.fetch_add(1, std::memory_order_relaxed);
   return hint;
 }
@@ -179,7 +179,7 @@ class MagazineAllocator {
     for (std::uint32_t i = keep; i + 1 < s.count; ++i) {
       // Tag monotonicity (FreeList::push): every link write over a node's
       // lifetime bumps its count, or recycling would replay old counts.
-      // relaxed: the chain is private to this slot until free_chain's CAS
+      // relaxed: the chain is private to this slot until free_chain's CAS (proof: test:tests/mem_test.cpp)
       auto& next = pool_[s.items[i]].next;
       const std::uint32_t c = next.load(std::memory_order_relaxed).count() + 1;
       next.store(tagged::TaggedIndex(s.items[i + 1], c),

@@ -53,7 +53,7 @@ class RefCountPool {
   explicit RefCountPool(std::uint32_t capacity) : pool_(capacity) {
     // Build the free list privately; freed/claimed nodes have refct 0|claim.
     for (std::uint32_t i = 0; i < capacity; ++i) {
-      // relaxed: construction is single-threaded
+      // relaxed: construction is single-threaded (proof: test:tests/refcount_pool_test.cpp)
       pool_[i].rc.refct_claim.store(1, std::memory_order_relaxed);  // claimed
       push_free(i);
     }
@@ -133,12 +133,12 @@ class RefCountPool {
   /// caller must reclaim.  CAS loop because decrement and claim must be one
   /// atomic transition (two bare FAAs could both see zero).
   static bool decrement_and_test_and_set(std::atomic<std::uint32_t>& rc) noexcept {
-    // relaxed: optimistic first read; the CAS below validates and orders
+    // relaxed: optimistic first read; the CAS below validates and orders (proof: mo-sweep:valois.refct_cas)
     std::uint32_t old = rc.load(std::memory_order_relaxed);
     for (;;) {
       assert(old >= 2 && "release without matching reference");
       const std::uint32_t desired = (old == 2) ? 1u : old - 2;
-      // relaxed: CAS failure reloads `old` and retries; no payload is read
+      // relaxed: CAS failure reloads `old` and retries; no payload is read (proof: mo-sweep:valois.refct_cas)
       if (rc.compare_exchange_weak(old, desired, std::memory_order_acq_rel,
                                    std::memory_order_relaxed)) {
         return old == 2;

@@ -38,12 +38,12 @@ class ValueCell {
   void put(T value) noexcept {
     std::uint64_t bits = 0;
     std::memcpy(&bits, &value, sizeof(T));
-    // relaxed: ordering is provided by the CAS that publishes the node
+    // relaxed: ordering is provided by the CAS that publishes the node (proof: mo-sweep:ms.E2.value_write)
     bits_.store(bits, std::memory_order_relaxed);
   }
 
   [[nodiscard]] T get() const noexcept {
-    // relaxed: a stale/torn-free read; the guarding CAS rejects stale uses
+    // relaxed: a stale/torn-free read; the guarding CAS rejects stale uses (proof: mo-sweep:ms.D11.value_read)
     const std::uint64_t bits = bits_.load(std::memory_order_relaxed);
     T value;
     std::memcpy(&value, &bits, sizeof(T));

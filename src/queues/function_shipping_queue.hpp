@@ -101,7 +101,7 @@ class FunctionShippingQueue {
 
   Reply ship(Op op, T value) {
     Slot& slot = my_slot();
-    // relaxed: only this client bumps to odd; re-reads its own/manager state
+    // relaxed: only this client bumps to odd; re-reads its own/manager state (proof: test:tests/function_shipping_test.cpp)
     // that the previous reply's acquire already synchronized
     const std::uint64_t request_seq = slot.seq.load(std::memory_order_relaxed) + 1;
     slot.op = op;
@@ -187,7 +187,7 @@ class FunctionShippingQueue {
   static std::uint64_t next_id() noexcept {
     // share-ok: touched once per queue construction
     static std::atomic<std::uint64_t> counter{1};
-    // relaxed: unique-id draw; no payload is published through it
+    // relaxed: unique-id draw; no payload is published through it (proof: test:tests/function_shipping_test.cpp)
     return counter.fetch_add(1, std::memory_order_relaxed);
   }
 

@@ -40,7 +40,7 @@ class MsQueueHp {
   explicit MsQueueHp(mem::HazardDomain& domain = mem::default_domain())
       : domain_(domain) {
     Node* dummy = new Node{};
-    // relaxed: construction is single-threaded; publication happens when
+    // relaxed: construction is single-threaded; publication happens when (proof: test:tests/queue_basic_test.cpp)
     // the queue itself is handed to other threads
     head_.value.store(dummy, std::memory_order_relaxed);
     tail_.value.store(dummy, std::memory_order_relaxed);  // relaxed: ^
@@ -48,10 +48,10 @@ class MsQueueHp {
 
   ~MsQueueHp() {
     // Single-threaded teardown: free the remaining chain directly.
-    // relaxed: no concurrent access can exist during destruction
+    // relaxed: no concurrent access can exist during destruction (proof: test:tests/queue_basic_test.cpp)
     Node* node = head_.value.load(std::memory_order_relaxed);
     while (node != nullptr) {
-      // relaxed: no concurrent access can exist during destruction
+      // relaxed: no concurrent access can exist during destruction (proof: test:tests/queue_basic_test.cpp)
       Node* next = node->next.load(std::memory_order_relaxed);
       delete node;
       node = next;
@@ -73,12 +73,12 @@ class MsQueueHp {
       if (next == nullptr) {  // E8
         Node* expected = nullptr;
         MSQ_COUNT(kCasAttempt);
-        // relaxed: E9 failure retries via the acquire loads at E6/E7
+        // relaxed: E9 failure retries via the acquire loads at E6/E7 (proof: mo-sweep:ms.E9.link_cas)
         if (tail->next.compare_exchange_strong(expected, node,
                                                std::memory_order_release,
                                                std::memory_order_relaxed)) {  // relaxed: E9 ^
           Node* t = tail;
-          // relaxed: E13 failure means someone else swung the tail; done
+          // relaxed: E13 failure means someone else swung the tail; done (proof: mo-sweep:ms.E13.tail_swing)
           tail_.value.compare_exchange_strong(t, node,
                                               std::memory_order_release,
                                               std::memory_order_relaxed);  // relaxed: E13 ^
@@ -90,7 +90,7 @@ class MsQueueHp {
         backoff.pause();
       } else {
         Node* t = tail;
-        // relaxed: helping CAS; failure means the help already happened
+        // relaxed: helping CAS; failure means the help already happened (proof: mo-sweep:ms.E12.tail_help)
         tail_.value.compare_exchange_strong(t, next, std::memory_order_release,
                                             std::memory_order_relaxed);  // E12
       }
@@ -111,7 +111,7 @@ class MsQueueHp {
           return false;                                        // D8
         }
         Node* t = tail;
-        // relaxed: helping CAS; failure means the help already happened
+        // relaxed: helping CAS; failure means the help already happened (proof: mo-sweep:ms.D9.tail_help)
         tail_.value.compare_exchange_strong(t, next, std::memory_order_release,
                                             std::memory_order_relaxed);  // D9
       } else {
@@ -120,7 +120,7 @@ class MsQueueHp {
         const T value = next->value;
         Node* h = head;
         MSQ_COUNT(kCasAttempt);
-        // relaxed: D12 failure retries via the acquire loads at D3/D5
+        // relaxed: D12 failure retries via the acquire loads at D3/D5 (proof: mo-sweep:ms.D12.head_swing)
         if (head_.value.compare_exchange_strong(h, next,
                                                 std::memory_order_release,
                                                 std::memory_order_relaxed)) {  // relaxed: D12 ^

@@ -39,7 +39,7 @@ class RingQueue {
         mask_(capacity_ - 1),
         cells_(std::make_unique<Cell[]>(capacity_)) {
     for (std::uint32_t i = 0; i < capacity_; ++i) {
-      // relaxed: construction is single-threaded
+      // relaxed: construction is single-threaded (proof: test:tests/queue_concurrent_test.cpp)
       cells_[i].seq.store(i, std::memory_order_relaxed);
     }
   }
@@ -49,14 +49,14 @@ class RingQueue {
 
   /// Returns false iff the ring is full of undequeued items.
   bool try_enqueue(T value) noexcept {
-    // relaxed: a stale ticket just retries; cell.seq carries the ordering
+    // relaxed: a stale ticket just retries; cell.seq carries the ordering (proof: test:tests/queue_concurrent_test.cpp)
     std::uint64_t ticket = enq_ticket_.load(std::memory_order_relaxed);
     for (;;) {
       Cell& cell = cells_[ticket & mask_];
       const std::uint64_t seq = cell.seq.load(std::memory_order_acquire);
       if (seq == ticket) {
         // Slot free for this round: claim the ticket.
-        // relaxed: the seq acquire/release handshake orders the payload;
+        // relaxed: the seq acquire/release handshake orders the payload; (proof: test:tests/queue_concurrent_test.cpp)
         // the ticket is only an allocation counter
         if (enq_ticket_.compare_exchange_weak(ticket, ticket + 1,
                                               std::memory_order_relaxed)) {  // relaxed: ^
@@ -70,7 +70,7 @@ class RingQueue {
       } else if (seq < ticket) {
         // The slot still holds an item from `capacity_` tickets ago that no
         // dequeuer has taken: ring full.
-        // relaxed: fullness estimate; a stale read only delays the verdict
+        // relaxed: fullness estimate; a stale read only delays the verdict (proof: test:tests/queue_concurrent_test.cpp)
         if (deq_ticket_.load(std::memory_order_relaxed) + capacity_ <= ticket) {
           MSQ_COUNT(kPoolRefuse);  // bounded ring's analogue of pool refusal
           // Distinct from pool_refuse: queue_full is the backpressure signal
@@ -81,11 +81,11 @@ class RingQueue {
         }
         // A dequeuer is mid-handshake on this slot; wait for it (blocking).
         port::cpu_relax();
-        // relaxed: retry reload; cell.seq carries the ordering
+        // relaxed: retry reload; cell.seq carries the ordering (proof: test:tests/queue_concurrent_test.cpp)
         ticket = enq_ticket_.load(std::memory_order_relaxed);
       } else {
         // Another enqueuer advanced the ticket; reload and retry.
-        // relaxed: retry reload; cell.seq carries the ordering
+        // relaxed: retry reload; cell.seq carries the ordering (proof: test:tests/queue_concurrent_test.cpp)
         ticket = enq_ticket_.load(std::memory_order_relaxed);
       }
     }
@@ -94,14 +94,14 @@ class RingQueue {
   /// Returns false iff the queue was observed empty (all enqueue tickets
   /// consumed).  Waits -- blocks -- for an in-flight enqueuer.
   bool try_dequeue(T& out) noexcept {
-    // relaxed: a stale ticket just retries; cell.seq carries the ordering
+    // relaxed: a stale ticket just retries; cell.seq carries the ordering (proof: test:tests/queue_concurrent_test.cpp)
     std::uint64_t ticket = deq_ticket_.load(std::memory_order_relaxed);
     for (;;) {
       Cell& cell = cells_[ticket & mask_];
       const std::uint64_t seq = cell.seq.load(std::memory_order_acquire);
       if (seq == ticket + 1) {
         // Slot filled for this round: claim it.
-        // relaxed: the seq acquire/release handshake orders the payload;
+        // relaxed: the seq acquire/release handshake orders the payload; (proof: test:tests/queue_concurrent_test.cpp)
         // the ticket is only an allocation counter
         if (deq_ticket_.compare_exchange_weak(ticket, ticket + 1,
                                               std::memory_order_relaxed)) {  // relaxed: ^
@@ -113,16 +113,16 @@ class RingQueue {
         }
       } else if (seq <= ticket) {
         // Slot not filled.  Empty, or an enqueuer claimed it and stalled?
-        // relaxed: emptiness estimate; a stale read only delays the verdict
+        // relaxed: emptiness estimate; a stale read only delays the verdict (proof: test:tests/queue_concurrent_test.cpp)
         if (enq_ticket_.load(std::memory_order_relaxed) <= ticket) {
           MSQ_COUNT(kDequeueEmpty);
           return false;  // no enqueue ticket issued for us: truly empty
         }
         port::cpu_relax();  // enqueuer in flight: wait (blocking)
-        // relaxed: retry reload; cell.seq carries the ordering
+        // relaxed: retry reload; cell.seq carries the ordering (proof: test:tests/queue_concurrent_test.cpp)
         ticket = deq_ticket_.load(std::memory_order_relaxed);
       } else {
-        // relaxed: retry reload; cell.seq carries the ordering
+        // relaxed: retry reload; cell.seq carries the ordering (proof: test:tests/queue_concurrent_test.cpp)
         ticket = deq_ticket_.load(std::memory_order_relaxed);
       }
     }

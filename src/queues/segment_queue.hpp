@@ -82,7 +82,7 @@ class SegmentQueue {
   explicit SegmentQueue(std::uint32_t capacity)
       : pool_(segments_for(capacity)), alloc_(pool_) {
     for (auto& slot : limbo_) {
-      // relaxed: construction-time store, no other thread exists yet
+      // relaxed: construction-time store, no other thread exists yet (proof: test:tests/sim_segment_test.cpp)
       slot.store(tagged::kNullIndex, std::memory_order_relaxed);
     }
     // The initial segment is born DRAINED (all tickets consumed): the
@@ -92,13 +92,13 @@ class SegmentQueue {
     const std::uint32_t s0 = alloc_.try_allocate();
     Segment& seg = pool_[s0];
     for (Slot& slot : seg.slots) {
-      // relaxed: queue is being constructed; no other thread exists yet
+      // relaxed: queue is being constructed; no other thread exists yet (proof: test:tests/sim_segment_test.cpp)
       slot.state.store(kTaken, std::memory_order_relaxed);
     }
     // relaxed: same construction-time exclusivity for all stores below
     seg.enq.store(kSlots, std::memory_order_relaxed);
     seg.deq.store(kSlots, std::memory_order_relaxed);
-    // relaxed: construction-time store, no other thread exists yet
+    // relaxed: construction-time store, no other thread exists yet (proof: test:tests/sim_segment_test.cpp)
     seg.next.store(tagged::TaggedIndex{}, std::memory_order_relaxed);
     head_.value.store(tagged::TaggedIndex(s0, 0), std::memory_order_release);
     tail_.value.store(tagged::TaggedIndex(s0, 0), std::memory_order_release);
@@ -124,7 +124,7 @@ class SegmentQueue {
           std::uint32_t expected = kEmpty;
           if (seg.slots[t].state.compare_exchange_strong(
                   expected, kFilled, std::memory_order_release,
-                  // relaxed: on failure the slot was killed; the observed
+                  // relaxed: on failure the slot was killed; the observed (proof: test:tests/sim_segment_test.cpp)
                   // value is not reused, we just take a fresh ticket
                   std::memory_order_relaxed)) {
             MSQ_COUNT(kEnqueue);
@@ -162,7 +162,7 @@ class SegmentQueue {
       reset_segment(fresh);
       Segment& nseg = pool_[fresh];
       nseg.slots[0].value.put(value);
-      // relaxed: `fresh` is private until the link-CAS below publishes it
+      // relaxed: `fresh` is private until the link-CAS below publishes it (proof: test:tests/sim_segment_test.cpp)
       nseg.slots[0].state.store(kFilled, std::memory_order_relaxed);
       // relaxed: same pre-publication exclusivity
       nseg.enq.store(1, std::memory_order_relaxed);
@@ -360,7 +360,7 @@ class SegmentQueue {
         std::uint32_t expected = tagged::kNullIndex;
         if (c.v.compare_exchange_strong(expected, idx,
                                         std::memory_order_seq_cst,
-                                        // relaxed: failure value unused;
+                                        // relaxed: failure value unused; (proof: test:tests/sim_segment_test.cpp)
                                         // the claim moves to the next cell
                                         std::memory_order_relaxed)) {
           cell_ = &c;
@@ -394,7 +394,7 @@ class SegmentQueue {
         std::uint32_t expected = tagged::kNullIndex;
         if (slot.compare_exchange_strong(expected, idx,
                                          std::memory_order_acq_rel,
-                                         // relaxed: occupied slot, move on
+                                         // relaxed: occupied slot, move on (proof: test:tests/sim_segment_test.cpp)
                                          std::memory_order_relaxed)) {
           limbo_count_.fetch_add(1, std::memory_order_acq_rel);
           return;
@@ -413,7 +413,7 @@ class SegmentQueue {
       if (idx == tagged::kNullIndex || hazarded(idx)) continue;
       if (slot.compare_exchange_strong(idx, tagged::kNullIndex,
                                        std::memory_order_acq_rel,
-                                       // relaxed: lost the reap race
+                                       // relaxed: lost the reap race (proof: test:tests/sim_segment_test.cpp)
                                        std::memory_order_relaxed)) {
         limbo_count_.fetch_sub(1, std::memory_order_acq_rel);
         alloc_.free(idx);
@@ -428,7 +428,7 @@ class SegmentQueue {
   void reset_segment(std::uint32_t idx) noexcept {
     Segment& seg = pool_[idx];
     for (Slot& slot : seg.slots) {
-      // relaxed: exclusive pre-publication writes (see function comment)
+      // relaxed: exclusive pre-publication writes (see function comment) (proof: test:tests/sim_segment_test.cpp)
       slot.state.store(kEmpty, std::memory_order_relaxed);
     }
     // relaxed: same exclusivity; slot states are reset above BEFORE the

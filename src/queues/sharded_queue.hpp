@@ -106,7 +106,7 @@ class ShardedQueue {
       shards_[s] = std::make_unique<Shard>(per_shard);
     }
     for (std::uint32_t i = 0; i < kHintSlots; ++i) {
-      // relaxed: construction-time seeding, no other thread exists yet
+      // relaxed: construction-time seeding, no other thread exists yet (proof: test:tests/sharded_queue_test.cpp)
       hints_[i].enq_home.store(i % N, std::memory_order_relaxed);
       // relaxed: same construction-time exclusivity
       hints_[i].deq_home.store(i % N, std::memory_order_relaxed);
@@ -121,7 +121,7 @@ class ShardedQueue {
   /// Returns false iff every shard refused (aggregate capacity exhausted).
   bool try_enqueue(value_type value) noexcept {
     HintSlot& hint = hint_slot();
-    // relaxed: the hint is pure routing; any stale value is still a valid
+    // relaxed: the hint is pure routing; any stale value is still a valid (proof: test:tests/sim_sharded_test.cpp)
     // shard index and the ticket/steal machinery keeps it correct
     const std::uint32_t home = hint.enq_home.load(std::memory_order_relaxed);
     for (std::uint32_t i = 0; i < N; ++i) {
@@ -133,20 +133,20 @@ class ShardedQueue {
       MSQ_PROBE("shardq.insert");
       if (shard.queue.try_enqueue(value)) {
         if (i == 0) {
-          // relaxed: routing-only heuristic state (see enq_home above)
+          // relaxed: routing-only heuristic state (see enq_home above) (proof: test:tests/sim_sharded_test.cpp)
           if (hint.enq_fail_streak.load(std::memory_order_relaxed) != 0) {
             // relaxed: ^
             hint.enq_fail_streak.store(0, std::memory_order_relaxed);
           }
         } else {
           // Repeatedly-full home: move in with the shard that had room.
-          // relaxed: routing-only heuristic state
+          // relaxed: routing-only heuristic state (proof: test:tests/sim_sharded_test.cpp)
           const std::uint32_t streak =
               hint.enq_fail_streak.load(std::memory_order_relaxed) + 1;
           if (streak >= kRehomeAfter) {
             MSQ_PROBE("shardq.rehome");
             MSQ_COUNT(kShardRehome);
-            // relaxed: routing-only (a racing thread sharing this slot
+            // relaxed: routing-only (a racing thread sharing this slot (proof: test:tests/sim_sharded_test.cpp)
             // just gets a different, equally valid home)
             hint.enq_home.store(s, std::memory_order_relaxed);
             // relaxed: ^
@@ -168,7 +168,7 @@ class ShardedQueue {
   /// double collect, header comment).
   bool try_dequeue(value_type& out) noexcept {
     HintSlot& hint = hint_slot();
-    // relaxed: routing only (see enq_home in try_enqueue)
+    // relaxed: routing only (see enq_home in try_enqueue) (proof: test:tests/sim_sharded_test.cpp)
     const std::uint32_t home = hint.deq_home.load(std::memory_order_relaxed);
     if (shards_[home]->queue.try_dequeue(out)) {
       MSQ_COUNT(kShardHit);
@@ -191,7 +191,7 @@ class ShardedQueue {
             MSQ_COUNT(kShardSteal);
             // Sticky stealing: follow the shard that actually has items
             // (this is what drains a shard whose home consumer stopped).
-            // relaxed: routing-only hint
+            // relaxed: routing-only hint (proof: test:tests/sim_sharded_test.cpp)
             hint.deq_home.store(s, std::memory_order_relaxed);
           }
           return true;
@@ -232,7 +232,7 @@ class ShardedQueue {
 
   /// The calling thread's current enqueue home shard (racy; tests only).
   [[nodiscard]] std::uint32_t unsafe_home_shard() noexcept {
-    // relaxed: tests-only peek at routing state
+    // relaxed: tests-only peek at routing state (proof: test:tests/sharded_queue_test.cpp)
     return hint_slot().enq_home.load(std::memory_order_relaxed);
   }
 

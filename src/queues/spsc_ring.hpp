@@ -42,7 +42,7 @@ class SpscRing {
   /// Producer side only.  Returns false iff full.  Wait-free: one load, one
   /// store, no retry loop.
   bool try_enqueue(T value) noexcept {
-    // relaxed: only the producer writes tail_; this re-reads its own write
+    // relaxed: only the producer writes tail_; this re-reads its own write (proof: test:tests/spsc_ring_test.cpp)
     const std::uint32_t tail = tail_.load(std::memory_order_relaxed);
     const std::uint32_t next = successor(tail);
     if (next == head_.load(std::memory_order_acquire)) return false;  // full
@@ -53,7 +53,7 @@ class SpscRing {
 
   /// Consumer side only.  Returns false iff empty.  Wait-free.
   bool try_dequeue(T& out) noexcept {
-    // relaxed: only the consumer writes head_; this re-reads its own write
+    // relaxed: only the consumer writes head_; this re-reads its own write (proof: test:tests/spsc_ring_test.cpp)
     const std::uint32_t head = head_.load(std::memory_order_relaxed);
     if (head == tail_.load(std::memory_order_acquire)) return false;  // empty
     out = std::move(ring_[head]);

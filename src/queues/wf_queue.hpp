@@ -204,7 +204,7 @@ class WfQueue {
 
     const std::uint32_t slot = acquire_slot();
     Descriptor& d = desc_[slot];
-    // relaxed: the phase is published by the full-barrier announcement
+    // relaxed: the phase is published by the full-barrier announcement (proof: test:tests/sim_wf_test.cpp)
     // store below; the FAA only needs to draw a unique monotone number
     const std::uint64_t phase = phase_.value.fetch_add(1, std::memory_order_relaxed);
 

@@ -94,6 +94,8 @@ StampedLoopResult run_stamped_pairs(Q& queue,
     while (!stop.load(std::memory_order_relaxed)) {
       const std::uint64_t stamp = static_cast<std::uint64_t>(port::now_ns());
       while (!queue.try_enqueue(stamp)) {
+        // fault-cover: benchmark-driver backpressure accounting, not an
+        // algorithm window; injecting here would measure the driver
         MSQ_PROBE("bench.enq_retry");
         ++shard.fail;
         std::this_thread::yield();  // single-core host: spinning starves
@@ -102,6 +104,7 @@ StampedLoopResult run_stamped_pairs(Q& queue,
       port::spin_work(config.think_iters);  // "other work"
       std::uint64_t out = 0;
       while (!queue.try_dequeue(out)) {
+        // fault-cover: same driver-loop exemption as bench.enq_retry
         MSQ_PROBE("bench.deq_retry");
         ++shard.empty;
         std::this_thread::yield();

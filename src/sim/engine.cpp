@@ -8,10 +8,12 @@
 namespace msq::sim {
 
 void Proc::OpAwaiter::await_suspend(std::coroutine_handle<> h) noexcept {
-  // The access happens NOW, as the final action of this step; the engine
-  // stores where to pick the process up next time it is scheduled.
-  result = engine->execute(proc, op);
+  // The access happens NOW, as the final action of this step, unless weak
+  // memory parks it behind a buffer drain; the engine stores where to pick
+  // the process up next time it is scheduled.  The awaiter lives in the
+  // coroutine frame, so &result stays valid across any drain steps.
   engine->process(proc).resume_point = h;
+  engine->submit(proc, op, &result);
 }
 
 void Proc::LabelAwaiter::await_suspend(std::coroutine_handle<> h) noexcept {
@@ -36,12 +38,60 @@ Engine::~Engine() {
   // Root Task destructors tear down any still-suspended coroutines.
 }
 
+void Engine::submit(std::uint32_t id, const PendingOp& op,
+                    std::uint64_t* result) {
+  Process& p = process(id);
+  if (needs_drain(op) && !p.store_buffer.empty()) {
+    // Fence semantics: the op refuses to execute until the buffer drains.
+    // This step is consumed reaching the fence (no shared access); each
+    // drain is its own visible step, then the op executes as one more.
+    p.has_pending = true;
+    p.pending_op = op;
+    p.pending_result = result;
+    ++steps_;
+    return;
+  }
+  *result = execute(id, op);
+}
+
 std::uint64_t Engine::execute(std::uint32_t id, const PendingOp& op) {
   Process& p = process(id);
   double cost = 0;
   std::uint64_t result = 0;
   bool wrote = false;  // did the op mutate the word (failed CAS does not)
   const std::uint32_t processor = p.processor;
+
+  if (config_.weak_memory) {
+    if (op.kind == OpKind::kWrite && op.order != MemOrder::kSeqCst) {
+      // TSO: the store enters the FIFO buffer, visible only to this
+      // process until a flush step publishes it.  No hb feed here; the
+      // tracker sees the write when it becomes globally visible.
+      p.store_buffer.push_back({op.addr, op.operand_a, op.order, p.label});
+      last_access_ = {true, op.kind, op.addr, /*is_write=*/true, op.order,
+                      /*buffered=*/true, false, false};
+      p.last_step_cost = 0;
+      ++steps_;
+      return 0;
+    }
+    if (op.kind == OpKind::kRead) {
+      // Store-to-load forwarding: the NEWEST buffered store to this addr
+      // wins over memory.  A forwarded read touches no shared state.
+      for (auto it = p.store_buffer.rbegin(); it != p.store_buffer.rend();
+           ++it) {
+        if (it->addr == op.addr) {
+          last_access_ = {true, op.kind, op.addr, /*is_write=*/false,
+                          op.order, false, /*forwarded=*/true, false};
+          p.last_step_cost = 0;
+          ++steps_;
+          return it->value;
+        }
+      }
+    }
+    // RMWs and seq_cst stores reach here with an EMPTY buffer (submit()
+    // parks them otherwise) and act on memory directly -- write-through.
+    assert(!needs_drain(op) || p.store_buffer.empty());
+  }
+
   switch (op.kind) {
     case OpKind::kRead:
       cost = cost_model_.on_read(processor, op.addr);
@@ -88,11 +138,11 @@ std::uint64_t Engine::execute(std::uint32_t id, const PendingOp& op) {
       break;
   }
   if (op.kind != OpKind::kWork) {
-    last_access_ = {true, op.kind, op.addr, wrote};
+    last_access_ = {true, op.kind, op.addr, wrote, op.order};
     if (hb_) {
       const bool rmw = op.kind == OpKind::kCas || op.kind == OpKind::kFaa ||
                        op.kind == OpKind::kSwap;
-      hb_->on_access(id, p.label, op.addr, wrote, rmw, steps_);
+      hb_->on_access(id, p.label, op.addr, wrote, rmw, steps_, op.order);
     }
   }
   if (config_.jitter > 0) {
@@ -104,10 +154,47 @@ std::uint64_t Engine::execute(std::uint32_t id, const PendingOp& op) {
   return result;
 }
 
+void Engine::flush_oldest(std::uint32_t id) {
+  Process& p = process(id);
+  assert(!p.store_buffer.empty());
+  const BufferedStore e = p.store_buffer.front();
+  p.store_buffer.erase(p.store_buffer.begin());
+  memory_.word(e.addr) = e.value;
+  p.last_step_cost = cost_model_.on_write(p.processor, e.addr, /*rmw=*/false);
+  last_access_ = {true,  OpKind::kWrite, e.addr, /*is_write=*/true, e.order,
+                  false, false,          /*flush=*/true};
+  if (hb_) {
+    // The write joins the hb trace when it becomes globally visible,
+    // labelled with the pseudo-code line of the store that buffered it.
+    hb_->on_access(id, e.label, e.addr, /*is_write=*/true, /*is_rmw=*/false,
+                   steps_, e.order);
+  }
+  ++steps_;
+}
+
+void Engine::flush_one(std::uint32_t id) {
+  process(id).last_step_cost = 0;
+  last_access_ = {};
+  flush_oldest(id);
+}
+
 void Engine::resume_one(std::uint32_t id) {
   Process& p = process(id);
   p.last_step_cost = 0;
   last_access_ = {};  // set again by execute() iff this step touches memory
+  if (p.has_pending) {
+    // A fence op is parked.  Drain one buffered store per step; once the
+    // buffer is empty the op itself executes as this step, and the
+    // coroutine resumes (reading the op's result) on a later step.
+    if (!p.store_buffer.empty()) {
+      flush_oldest(id);
+      return;
+    }
+    p.has_pending = false;
+    *p.pending_result = execute(id, p.pending_op);
+    p.pending_result = nullptr;
+    return;
+  }
   if (!p.started) {
     p.started = true;
     p.root->start();
@@ -119,7 +206,17 @@ void Engine::resume_one(std::uint32_t id) {
 
 bool Engine::step(std::uint32_t id) {
   Process& p = process(id);
-  if (p.finished || p.crashed) return false;
+  if (p.crashed) return false;
+  if (p.finished) {
+    // Weak memory: a finished process may still owe the world its buffered
+    // stores; its remaining steps are flushes.
+    if (p.store_buffer.empty()) return false;
+    p.last_step_cost = 0;
+    last_access_ = {};
+    tick_stalls();
+    flush_oldest(id);
+    return true;
+  }
   if (p.freeze_label != nullptr && p.label != nullptr &&
       std::string_view(p.label) == p.freeze_label) {
     p.frozen = true;
@@ -148,14 +245,18 @@ void Engine::freeze_at_label(std::uint32_t id, const char* label) {
 }
 
 bool Engine::all_done() const {
-  return std::all_of(processes_.begin(), processes_.end(),
-                     [](const auto& p) { return p->finished; });
+  return std::all_of(processes_.begin(), processes_.end(), [](const auto& p) {
+    return p->finished && p->store_buffer.empty();
+  });
 }
 
 bool Engine::runnable_exists() const {
-  // A stalled process counts: it becomes runnable again by itself.
+  // A stalled process counts: it becomes runnable again by itself.  A
+  // finished process with a nonempty store buffer also counts: its
+  // remaining flush steps still make progress.
   return std::any_of(processes_.begin(), processes_.end(), [](const auto& p) {
-    return !p->finished && !p->frozen && !p->crashed;
+    if (p->crashed || p->frozen) return false;
+    return !p->finished || !p->store_buffer.empty();
   });
 }
 
@@ -166,7 +267,8 @@ bool Engine::step_random() {
   runnable.reserve(processes_.size());
   for (std::uint32_t i = 0; i < processes_.size(); ++i) {
     Process& p = *processes_[i];
-    if (p.finished || p.crashed) continue;
+    if (p.crashed) continue;
+    if (p.finished && p.store_buffer.empty()) continue;
     if (p.freeze_label != nullptr && p.label != nullptr &&
         std::string_view(p.label) == p.freeze_label) {
       p.frozen = true;
@@ -188,7 +290,14 @@ bool Engine::step_random() {
   const std::uint32_t pick =
       runnable[static_cast<std::size_t>(rng_.below(runnable.size()))];
   tick_stalls();
-  resume_one(pick);
+  if (process(pick).finished) {
+    // Finished but still buffered (weak memory): the step is a flush.
+    process(pick).last_step_cost = 0;
+    last_access_ = {};
+    flush_oldest(pick);
+  } else {
+    resume_one(pick);
+  }
   return true;
 }
 

@@ -21,6 +21,19 @@
 // One step == one shared-memory access (read/write/CAS/FAA) or one work()
 // episode.  The access is applied atomically at the step boundary, giving
 // sequential consistency, the model the paper's pseudo-code assumes.
+//
+// Weak-memory mode (EngineConfig::weak_memory): every access additionally
+// declares a check::MemOrder, and stores weaker than seq_cst go into a
+// per-process FIFO store buffer instead of memory -- visible to the issuing
+// process (store-to-load forwarding) but to nobody else until a separate
+// FLUSH step publishes the oldest entry.  Flush steps are schedulable
+// nondeterminism: the explorer (sim/explore.hpp) enumerates them the same
+// way it enumerates process steps.  RMWs and seq_cst stores are fences:
+// they refuse to execute until the issuing process's buffer has drained
+// (each drained entry is its own visible step).  This is the TSO model --
+// exactly x86's store-buffer relaxation.  With every access left at the
+// default seq_cst the mode degenerates to the SC semantics above, which
+// tests/sim_weak_memory_test.cpp asserts.
 #pragma once
 
 #include <cassert>
@@ -41,6 +54,8 @@ namespace msq::sim {
 
 class Engine;
 
+using check::MemOrder;
+
 enum class OpKind : std::uint8_t { kRead, kWrite, kCas, kFaa, kSwap, kWork };
 
 struct PendingOp {
@@ -49,6 +64,7 @@ struct PendingOp {
   std::uint64_t operand_a = 0;  // write value / CAS expected / FAA delta
   std::uint64_t operand_b = 0;  // CAS desired
   double work_cost = 0;         // kWork only
+  MemOrder order = MemOrder::kSeqCst;
 };
 
 /// Per-process facade passed into algorithm coroutines; its methods return
@@ -66,24 +82,33 @@ class Proc {
     std::uint64_t await_resume() const noexcept { return result; }
   };
 
-  [[nodiscard]] OpAwaiter read(Addr a) noexcept {
-    return {engine_, id_, {OpKind::kRead, a, 0, 0, 0}};
+  // Every access may declare the memory order its real C++ counterpart
+  // uses (default seq_cst: the paper's SC model).  Orders are semantic only
+  // under race_detect with SyncModel::kOrders (synchronizes-with edges) and
+  // under EngineConfig::weak_memory (store buffering); otherwise ignored.
+  [[nodiscard]] OpAwaiter read(Addr a,
+                               MemOrder o = MemOrder::kSeqCst) noexcept {
+    return {engine_, id_, {OpKind::kRead, a, 0, 0, 0, o}};
   }
-  [[nodiscard]] OpAwaiter write(Addr a, std::uint64_t v) noexcept {
-    return {engine_, id_, {OpKind::kWrite, a, v, 0, 0}};
+  [[nodiscard]] OpAwaiter write(Addr a, std::uint64_t v,
+                                MemOrder o = MemOrder::kSeqCst) noexcept {
+    return {engine_, id_, {OpKind::kWrite, a, v, 0, 0, o}};
   }
   /// Returns the OLD value; the CAS succeeded iff old == expected.
   [[nodiscard]] OpAwaiter cas(Addr a, std::uint64_t expected,
-                              std::uint64_t desired) noexcept {
-    return {engine_, id_, {OpKind::kCas, a, expected, desired, 0}};
+                              std::uint64_t desired,
+                              MemOrder o = MemOrder::kSeqCst) noexcept {
+    return {engine_, id_, {OpKind::kCas, a, expected, desired, 0, o}};
   }
   /// fetch_and_add; returns the OLD value.
-  [[nodiscard]] OpAwaiter faa(Addr a, std::uint64_t delta) noexcept {
-    return {engine_, id_, {OpKind::kFaa, a, delta, 0, 0}};
+  [[nodiscard]] OpAwaiter faa(Addr a, std::uint64_t delta,
+                              MemOrder o = MemOrder::kSeqCst) noexcept {
+    return {engine_, id_, {OpKind::kFaa, a, delta, 0, 0, o}};
   }
   /// fetch_and_store (unconditional swap); returns the OLD value.
-  [[nodiscard]] OpAwaiter swap(Addr a, std::uint64_t v) noexcept {
-    return {engine_, id_, {OpKind::kSwap, a, v, 0, 0}};
+  [[nodiscard]] OpAwaiter swap(Addr a, std::uint64_t v,
+                               MemOrder o = MemOrder::kSeqCst) noexcept {
+    return {engine_, id_, {OpKind::kSwap, a, v, 0, 0, o}};
   }
   /// Local work of `cost` units (the paper's ~6us spin, backoff episodes).
   [[nodiscard]] OpAwaiter work(double cost) noexcept {
@@ -136,6 +161,11 @@ struct EngineConfig {
   // access, and most tests want raw speed.
   bool race_detect = false;
   check::SyncModel sync_model = check::SyncModel::kRmw;
+  // TSO store-buffer execution (see the header comment).  Exploration-mode
+  // only: combining it with run_cost_model() is unsupported.  With it on,
+  // done(id) additionally requires the process's buffer to have drained,
+  // and step(id) on a finished-but-buffered process performs one flush.
+  bool weak_memory = false;
 };
 
 class Engine {
@@ -202,7 +232,8 @@ class Engine {
   }
 
   [[nodiscard]] bool done(std::uint32_t id) const {
-    return process(id).finished;
+    const Process& p = process(id);
+    return p.finished && p.store_buffer.empty();
   }
   [[nodiscard]] bool all_done() const;
   [[nodiscard]] bool runnable_exists() const;
@@ -234,20 +265,54 @@ class Engine {
   /// (label suspensions, work episodes, idle stall ticks and final
   /// co_returns perform none).  The DPOR explorer uses this to build its
   /// dependence relation without reaching into the engine's internals.
+  /// Weak-memory mode adds three refinements: a `buffered` store entered
+  /// the issuing process's store buffer (not yet globally visible -- a
+  /// LOCAL step for dependence purposes), a `forwarded` read was served
+  /// from the process's own buffer (also local), and a `flush` write is a
+  /// buffered store becoming globally visible (the step that conflicts).
   struct LastAccess {
     bool valid = false;
     OpKind kind = OpKind::kWork;
     Addr addr = 0;
     bool is_write = false;  // mutated the word (failed CAS is a read)
+    MemOrder order = MemOrder::kSeqCst;
+    bool buffered = false;
+    bool forwarded = false;
+    bool flush = false;
   };
   [[nodiscard]] const LastAccess& last_access() const noexcept {
     return last_access_;
+  }
+
+  // --- weak-memory interface (EngineConfig::weak_memory) ------------------
+  /// Buffered stores of process `id` not yet globally visible.
+  [[nodiscard]] std::size_t flush_pending(std::uint32_t id) const {
+    return process(id).store_buffer.size();
+  }
+  /// Publish process `id`'s OLDEST buffered store as one engine step (the
+  /// explorer schedules these as "flush agents").  Requires flush_pending.
+  void flush_one(std::uint32_t id);
+  /// Can `id` make PROGRAM progress this step?  False while a fence (RMW or
+  /// seq_cst store) waits on the buffer to drain -- then only flush steps
+  /// are enabled -- and false once the root coroutine finished.
+  [[nodiscard]] bool can_advance(std::uint32_t id) const {
+    const Process& p = process(id);
+    return !p.finished && !p.crashed && !p.frozen &&
+           !(p.has_pending && !p.store_buffer.empty());
   }
 
  private:
   friend struct Proc::OpAwaiter;
   friend struct Proc::LabelAwaiter;
   friend class Proc;
+
+  /// One store sitting in a process's TSO buffer, waiting to be flushed.
+  struct BufferedStore {
+    Addr addr = 0;
+    std::uint64_t value = 0;
+    MemOrder order = MemOrder::kSeqCst;
+    const char* label = "";  // pseudo-code line of the buffering store
+  };
 
   struct Process {
     std::unique_ptr<Proc> facade;
@@ -262,6 +327,14 @@ class Engine {
     const char* label = "";
     const char* freeze_label = nullptr;
     double last_step_cost = 0;
+    // Weak-memory state: the FIFO store buffer, plus a fence op (RMW or
+    // seq_cst store) parked until the buffer drains.  `pending_result`
+    // points into the suspended OpAwaiter, whose frame stays alive across
+    // the drain steps.
+    std::vector<BufferedStore> store_buffer;
+    bool has_pending = false;
+    PendingOp pending_op{OpKind::kWork};
+    std::uint64_t* pending_result = nullptr;
 
     [[nodiscard]] bool runnable() const noexcept {
       return !finished && !frozen && !crashed && stall_remaining == 0;
@@ -282,6 +355,23 @@ class Engine {
 
   /// Apply `op` to memory and charge its cost; called from await_suspend.
   std::uint64_t execute(std::uint32_t id, const PendingOp& op);
+
+  /// Entry point from OpAwaiter::await_suspend: execute `op` now, or (weak
+  /// mode, fence op, buffer nonempty) park it until the buffer drains.
+  void submit(std::uint32_t id, const PendingOp& op, std::uint64_t* result);
+
+  /// Does `op` require the issuing process's store buffer to be empty?
+  [[nodiscard]] bool needs_drain(const PendingOp& op) const noexcept {
+    if (!config_.weak_memory) return false;
+    if (op.kind == OpKind::kCas || op.kind == OpKind::kFaa ||
+        op.kind == OpKind::kSwap) {
+      return true;  // RMWs are fences under TSO (x86 LOCK prefix)
+    }
+    return op.kind == OpKind::kWrite && op.order == MemOrder::kSeqCst;
+  }
+
+  /// Publish the oldest buffered store of `id` (one engine step).
+  void flush_oldest(std::uint32_t id);
 
   /// Resume process `id` for one step (it must be runnable).
   void resume_one(std::uint32_t id);

@@ -172,6 +172,19 @@ ExploreResult explore_schedules(const ExploreConfig& config,
 // strategy, analyses the trace with vector clocks to plant backtrack
 // points at conflicting steps, then backtracks DFS-style to the deepest
 // node with an untried alternative.
+//
+// Weak memory (EngineConfig::weak_memory) doubles the agent space: agent
+// a < n runs process a's next program step, agent n + q publishes process
+// q's oldest buffered store as a flush step (CDSChecker-style: the
+// visibility nondeterminism is enumerated as scheduling nondeterminism).
+// Dependence treatment: a BUFFERED store is a local step whose clock is
+// snapshotted into a per-process FIFO of pending-store clocks; the flush
+// that later publishes it joins that snapshot (the flush is ordered after
+// the store's context, NOT after everything its process did since) and is
+// the step that conflicts with peer accesses to the address.  Forwarded
+// reads (served from the process's own buffer) touch no shared state and
+// stay local.  With every access seq_cst no store ever buffers, no flush
+// agent ever enables, and the search degenerates to the SC one exactly.
 
 namespace {
 
@@ -237,35 +250,49 @@ DporResult explore_dpor(const DporConfig& config, std::uint32_t process_count,
     Engine& engine = factory();
     MSQ_COUNT(kExploreRun);
 
+    // Agent space: processes, plus one flush agent per process when the
+    // engine buffers stores (see the weak-memory notes above).
+    const bool weak = engine.config().weak_memory;
+    const std::uint32_t agent_count =
+        weak ? 2 * process_count : process_count;
+
     // Per-run trace analysis state, rebuilt during replay.
-    std::vector<DporClock> vc(process_count,
-                              DporClock(process_count, 0));  // C_p
+    std::vector<DporClock> vc(agent_count, DporClock(agent_count, 0));
     std::unordered_map<Addr, DporAddrTrace> mem;
+    // Clocks of stores sitting in each process's buffer, FIFO like it.
+    std::vector<std::vector<DporClock>> pending_clocks(process_count);
     // Active sleep set carried down the path (entry sleep of the next node
     // to create).
     std::vector<std::pair<std::uint32_t, DporAccess>> active_sleep;
     bool sleep_blocked = false;
 
     for (std::size_t depth = 0;; ++depth) {
-      // Enabled = not finished.  (Spinning processes are always runnable
-      // in this framework, so "may be co-enabled" is always true.)
+      // Enabled agents.  A process agent is enabled while it can make
+      // program progress (a fence waiting on its buffer is not); a flush
+      // agent is enabled while its process has buffered stores.  Spinning
+      // processes are always runnable, so "may be co-enabled" holds.
       std::vector<std::uint32_t> enabled;
       for (std::uint32_t q = 0; q < process_count; ++q) {
-        if (!engine.done(q)) enabled.push_back(q);
+        if (engine.can_advance(q)) enabled.push_back(q);
+      }
+      if (weak) {
+        for (std::uint32_t q = 0; q < process_count; ++q) {
+          if (engine.flush_pending(q) > 0) enabled.push_back(process_count + q);
+        }
       }
 
       if (depth < path.size()) {
         active_sleep = path[depth].sleep;  // replay: stored entry sleep
       } else {
-        if (enabled.empty()) break;  // execution complete
+        if (enabled.empty()) break;  // execution complete (buffers drained)
         if (depth >= config.max_steps_per_run) break;  // runaway guard
-        // New node: default strategy picks the first enabled process not
-        // asleep.  If every enabled process sleeps, this branch commutes
+        // New node: default strategy picks the first enabled agent not
+        // asleep.  If every enabled agent sleeps, this branch commutes
         // with one already explored -- prune it.
         DporNode node;
         node.enabled = enabled;
         node.sleep = active_sleep;
-        std::uint32_t choice = process_count;
+        std::uint32_t choice = agent_count;
         for (const std::uint32_t q : enabled) {
           const bool asleep =
               std::any_of(node.sleep.begin(), node.sleep.end(),
@@ -275,7 +302,7 @@ DporResult explore_dpor(const DporConfig& config, std::uint32_t process_count,
             break;
           }
         }
-        if (choice == process_count) {
+        if (choice == agent_count) {
           sleep_blocked = true;
           break;
         }
@@ -287,8 +314,35 @@ DporResult explore_dpor(const DporConfig& config, std::uint32_t process_count,
       DporNode& node = path[depth];
       const std::uint32_t p = node.chosen;
 
-      engine.step(p);
+      if (p < process_count) {
+        engine.step(p);
+      } else {
+        engine.flush_one(p - process_count);
+      }
       const Engine::LastAccess& la = engine.last_access();
+
+      if (la.valid && la.buffered) {
+        // Buffered store: a local step, but snapshot its clock so the
+        // flush that publishes it is ordered after the store's context.
+        vc[p][p] += 1;
+        pending_clocks[p].push_back(vc[p]);
+        node.access = {};
+        if (on_step) on_step(engine);
+        continue;
+      }
+      if (la.valid && la.forwarded) {
+        vc[p][p] += 1;  // served from the process's own buffer: local
+        node.access = {};
+        if (on_step) on_step(engine);
+        continue;
+      }
+      if (la.valid && la.flush) {
+        // Flush agent: ordered after the buffering store's snapshot.
+        const std::uint32_t q = p - process_count;
+        clock_join(vc[p], pending_clocks[q].front());
+        pending_clocks[q].erase(pending_clocks[q].begin());
+      }
+
       const DporAccess a{la.valid, la.addr, la.is_write};
       node.access = a;
 
@@ -371,7 +425,7 @@ DporResult explore_dpor(const DporConfig& config, std::uint32_t process_count,
       if (v.done.insert(v.chosen).second) {
         v.explored.emplace_back(v.chosen, v.access);
       }
-      std::uint32_t next = process_count;
+      std::uint32_t next = agent_count;
       for (const std::uint32_t q : v.backtrack) {
         if (v.done.contains(q)) continue;
         const bool asleep =
@@ -381,7 +435,7 @@ DporResult explore_dpor(const DporConfig& config, std::uint32_t process_count,
         next = q;
         break;
       }
-      if (next != process_count) {
+      if (next != agent_count) {
         v.chosen = next;
         break;
       }

@@ -103,6 +103,13 @@ struct DporResult {
 /// and must terminate on every schedule (spin-heavy blocking algorithms
 /// are cut off at max_steps_per_run, truncating coverage).  Processes must
 /// not be crashed, frozen or stalled by the callbacks.
+///
+/// If the factory's engine has EngineConfig::weak_memory set, the search
+/// space additionally contains one FLUSH AGENT per process that publishes
+/// buffered stores (CDSChecker-style visibility nondeterminism as
+/// scheduling nondeterminism); executions only complete once every buffer
+/// has drained, so on_done always sees consistent memory.  All-seq_cst
+/// worlds degenerate to the SC search exactly.
 DporResult explore_dpor(const DporConfig& config, std::uint32_t process_count,
                         const std::function<Engine&()>& factory,
                         const std::function<void(Engine&)>& on_step,

@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "sim/mo_table.hpp"
 #include "sim/queue_iface.hpp"
 #include "sim/sim_freelist.hpp"
 #include "tagged/tagged_index.hpp"
@@ -16,12 +17,31 @@ namespace msq::sim {
 
 class SimMsQueue final : public SimQueue {
  public:
-  SimMsQueue(Engine& engine, std::uint32_t capacity, double backoff_max = 1024)
+  // `mo` overrides the annotated memory orders (mutation sweeps); the
+  // defaults mirror queues/ms_queue.hpp exactly -- see sim/mo_table.hpp
+  // for the per-site rationale.
+  SimMsQueue(Engine& engine, std::uint32_t capacity, double backoff_max = 1024,
+             const MoTable* mo = nullptr)
       : engine_(engine),
-        pool_(engine, capacity + 1, /*words_per_node=*/2),
+        pool_(engine, capacity + 1, /*words_per_node=*/2, mo),
         head_(engine.memory().alloc(1)),
         tail_(engine.memory().alloc(1)),
         backoff_max_(backoff_max) {
+    mo_.e2 = mo_resolve(mo, "ms.E2.value_write");
+    mo_.e3 = mo_resolve(mo, "ms.E3.next_init");
+    mo_.e5 = mo_resolve(mo, "ms.E5.tail_load");
+    mo_.e6 = mo_resolve(mo, "ms.E6.next_load");
+    mo_.e7 = mo_resolve(mo, "ms.E7.tail_reload");
+    mo_.e9 = mo_resolve(mo, "ms.E9.link_cas");
+    mo_.e12 = mo_resolve(mo, "ms.E12.tail_help");
+    mo_.e13 = mo_resolve(mo, "ms.E13.tail_swing");
+    mo_.d2 = mo_resolve(mo, "ms.D2.head_load");
+    mo_.d3 = mo_resolve(mo, "ms.D3.tail_load");
+    mo_.d4 = mo_resolve(mo, "ms.D4.next_load");
+    mo_.d5 = mo_resolve(mo, "ms.D5.head_reload");
+    mo_.d9 = mo_resolve(mo, "ms.D9.tail_help");
+    mo_.d11 = mo_resolve(mo, "ms.D11.value_read");
+    mo_.d12 = mo_resolve(mo, "ms.D12.head_swing");
     // initialize(Q) -- performed before any process runs, so raw writes.
     SimMemory& mem = engine.memory();
     const auto free_top =
@@ -40,34 +60,39 @@ class SimMsQueue final : public SimQueue {
   Task<bool> enqueue(Proc& p, std::uint64_t value) override {
     const std::uint32_t node = co_await pool_.allocate(p);  // E1
     if (node == tagged::kNullIndex) co_return false;
-    co_await p.write(pool_.value_addr(node), value);  // E2
-    co_await p.write(pool_.next_addr(node), tagged::TaggedIndex{}.bits());  // E3
+    co_await p.at("E2");
+    co_await p.write(pool_.value_addr(node), value, mo_.e2);  // E2
+    co_await p.write(pool_.next_addr(node), tagged::TaggedIndex{}.bits(),
+                     mo_.e3);  // E3
 
     SimBackoff backoff(backoff_max_);
     for (;;) {  // E4
       co_await p.at("E5");
-      const auto tail = tagged::TaggedIndex::from_bits(co_await p.read(tail_));
+      const auto tail =
+          tagged::TaggedIndex::from_bits(co_await p.read(tail_, mo_.e5));
       const auto next = tagged::TaggedIndex::from_bits(
-          co_await p.read(pool_.next_addr(tail.index())));  // E6
+          co_await p.read(pool_.next_addr(tail.index()), mo_.e6));  // E6
       // E7: are tail and next consistent?  (NOTE: every co_await is
       // hoisted into a named local throughout the simulator -- GCC 12
       // miscompiles co_await inside condition expressions.)
-      const std::uint64_t tail_again = co_await p.read(tail_);
+      const std::uint64_t tail_again = co_await p.read(tail_, mo_.e7);
       if (tail.bits() == tail_again) {
         if (next.is_null()) {  // E8
           co_await p.at("E9");
           const std::uint64_t linked = co_await p.cas(
               pool_.next_addr(tail.index()), next.bits(),
-              next.successor(node).bits());
+              next.successor(node).bits(), mo_.e9);
           if (linked == next.bits()) {
             co_await p.at("E13");
-            co_await p.cas(tail_, tail.bits(), tail.successor(node).bits());
+            co_await p.cas(tail_, tail.bits(), tail.successor(node).bits(),
+                           mo_.e13);
             co_return true;  // E10
           }
           co_await p.work(backoff.next());
         } else {
           co_await p.at("E12");
-          co_await p.cas(tail_, tail.bits(), tail.successor(next.index()).bits());
+          co_await p.cas(tail_, tail.bits(),
+                         tail.successor(next.index()).bits(), mo_.e12);
         }
       }
     }
@@ -77,23 +102,30 @@ class SimMsQueue final : public SimQueue {
     SimBackoff backoff(backoff_max_);
     for (;;) {  // D1
       co_await p.at("D2");
-      const auto head = tagged::TaggedIndex::from_bits(co_await p.read(head_));
-      const auto tail = tagged::TaggedIndex::from_bits(co_await p.read(tail_));  // D3
+      const auto head =
+          tagged::TaggedIndex::from_bits(co_await p.read(head_, mo_.d2));
+      const auto tail =
+          tagged::TaggedIndex::from_bits(co_await p.read(tail_, mo_.d3));  // D3
+      co_await p.at("D4");
       const auto next = tagged::TaggedIndex::from_bits(
-          co_await p.read(pool_.next_addr(head.index())));  // D4
-      const std::uint64_t head_again = co_await p.read(head_);  // D5
+          co_await p.read(pool_.next_addr(head.index()), mo_.d4));  // D4
+      const std::uint64_t head_again = co_await p.read(head_, mo_.d5);  // D5
       if (head.bits() == head_again) {
         if (head.index() == tail.index()) {         // D6
           if (next.is_null()) co_return kEmpty;     // D7-D8
           co_await p.at("D9");
-          co_await p.cas(tail_, tail.bits(), tail.successor(next.index()).bits());
+          co_await p.cas(tail_, tail.bits(),
+                         tail.successor(next.index()).bits(), mo_.d9);
         } else {
-          const std::uint64_t value =
-              co_await p.read(pool_.value_addr(next.index()));  // D11
+          co_await p.at("D11");
+          const std::uint64_t value = co_await p.read(
+              pool_.value_addr(next.index()), mo_.d11);  // D11
           co_await p.at("D12");
-          const std::uint64_t swung = co_await p.cas(
-              head_, head.bits(), head.successor(next.index()).bits());
+          const std::uint64_t swung =
+              co_await p.cas(head_, head.bits(),
+                             head.successor(next.index()).bits(), mo_.d12);
           if (swung == head.bits()) {
+            co_await p.at("D14");
             co_await pool_.free(p, head.index());  // D14
             co_return value;                       // D13, D15
           }
@@ -131,11 +163,17 @@ class SimMsQueue final : public SimQueue {
   [[nodiscard]] const SimNodePool& node_pool() const noexcept { return pool_; }
 
  private:
+  struct Orders {
+    check::MemOrder e2, e3, e5, e6, e7, e9, e12, e13;
+    check::MemOrder d2, d3, d4, d5, d9, d11, d12;
+  };
+
   Engine& engine_;
   SimNodePool pool_;
   Addr head_;
   Addr tail_;
   double backoff_max_;
+  Orders mo_{};
 };
 
 }  // namespace msq::sim

@@ -9,6 +9,7 @@
 #include <cstdint>
 
 #include "sim/engine.hpp"
+#include "sim/mo_table.hpp"
 #include "sim/task.hpp"
 #include "tagged/tagged_index.hpp"
 
@@ -19,12 +20,19 @@ class SimNodePool {
   static constexpr std::uint32_t kValueWord = 0;
   static constexpr std::uint32_t kNextWord = 1;
 
+  // `mo` overrides the annotated memory orders (mutation sweeps); the
+  // defaults mirror mem/freelist.hpp -- rationale in sim/mo_table.hpp.
   SimNodePool(Engine& engine, std::uint32_t capacity,
-              std::uint32_t words_per_node)
+              std::uint32_t words_per_node, const MoTable* mo = nullptr)
       : capacity_(capacity),
         words_per_node_(words_per_node),
         base_(engine.memory().alloc(capacity * words_per_node)),
-        free_top_(engine.memory().alloc(1)) {
+        free_top_(engine.memory().alloc(1)),
+        mo_pop_top_(mo_resolve(mo, "fl.pop_top")),
+        mo_pop_next_(mo_resolve(mo, "fl.pop_next")),
+        mo_pop_cas_(mo_resolve(mo, "fl.pop_cas")),
+        mo_push_link_(mo_resolve(mo, "fl.push_link")),
+        mo_push_cas_(mo_resolve(mo, "fl.push_cas")) {
     // Thread every node onto the free list (construction is single-site;
     // raw memory writes, no simulated cost -- matches the paper's
     // pre-initialised free list).
@@ -52,12 +60,14 @@ class SimNodePool {
   /// Treiber pop (lock-free).  Returns tagged::kNullIndex when exhausted.
   Task<std::uint32_t> allocate(Proc& p) {
     for (;;) {
-      const auto top = tagged::TaggedIndex::from_bits(co_await p.read(free_top_));
+      const auto top = tagged::TaggedIndex::from_bits(
+          co_await p.read(free_top_, mo_pop_top_));
       if (top.is_null()) co_return tagged::kNullIndex;
-      const auto next =
-          tagged::TaggedIndex::from_bits(co_await p.read(next_addr(top.index())));
-      const std::uint64_t old = co_await p.cas(
-          free_top_, top.bits(), top.successor(next.index()).bits());
+      const auto next = tagged::TaggedIndex::from_bits(
+          co_await p.read(next_addr(top.index()), mo_pop_next_));
+      const std::uint64_t old =
+          co_await p.cas(free_top_, top.bits(),
+                         top.successor(next.index()).bits(), mo_pop_cas_);
       if (old == top.bits()) co_return top.index();
     }
   }
@@ -65,10 +75,13 @@ class SimNodePool {
   /// Treiber push.
   Task<void> free(Proc& p, std::uint32_t node) {
     for (;;) {
-      const auto top = tagged::TaggedIndex::from_bits(co_await p.read(free_top_));
-      co_await p.write(next_addr(node), tagged::TaggedIndex(top.index(), 0).bits());
-      const std::uint64_t old =
-          co_await p.cas(free_top_, top.bits(), top.successor(node).bits());
+      const auto top = tagged::TaggedIndex::from_bits(
+          co_await p.read(free_top_, mo_pop_top_));
+      co_await p.write(next_addr(node),
+                       tagged::TaggedIndex(top.index(), 0).bits(),
+                       mo_push_link_);
+      const std::uint64_t old = co_await p.cas(
+          free_top_, top.bits(), top.successor(node).bits(), mo_push_cas_);
       if (old == top.bits()) co_return;
     }
   }
@@ -78,6 +91,11 @@ class SimNodePool {
   std::uint32_t words_per_node_;
   Addr base_;
   Addr free_top_;
+  check::MemOrder mo_pop_top_;
+  check::MemOrder mo_pop_next_;
+  check::MemOrder mo_pop_cas_;
+  check::MemOrder mo_push_link_;
+  check::MemOrder mo_push_cas_;
 };
 
 }  // namespace msq::sim

@@ -4,6 +4,7 @@
 
 #include "obs/counters.hpp"
 #include "sim/engine.hpp"
+#include "sim/mo_table.hpp"
 #include "sim/queue_iface.hpp"
 #include "sim/task.hpp"
 
@@ -11,20 +12,27 @@ namespace msq::sim {
 
 class SimTatasLock {
  public:
-  SimTatasLock(Engine& engine, double backoff_max = 1024)
-      : word_(engine.memory().alloc(1)), backoff_max_(backoff_max) {}
+  // `mo` overrides the annotated memory orders (mutation sweeps); the
+  // defaults mirror sync/tatas_lock.hpp -- rationale in sim/mo_table.hpp.
+  SimTatasLock(Engine& engine, double backoff_max = 1024,
+               const MoTable* mo = nullptr)
+      : word_(engine.memory().alloc(1)),
+        backoff_max_(backoff_max),
+        mo_spin_(mo_resolve(mo, "lock.spin_load")),
+        mo_cas_(mo_resolve(mo, "lock.acquire_cas")),
+        mo_unlock_(mo_resolve(mo, "lock.unlock_store")) {}
 
   Task<void> lock(Proc& p) {
     SimBackoff backoff(backoff_max_);
     for (;;) {
       // Local spin on the cached copy until the lock looks free.
       for (;;) {
-        const std::uint64_t seen = co_await p.read(word_);
+        const std::uint64_t seen = co_await p.read(word_, mo_spin_);
         if (seen == 0) break;
         MSQ_COUNT(kLockSpin);
         co_await p.work(backoff.next());
       }
-      const std::uint64_t old = co_await p.cas(word_, 0, 1);
+      const std::uint64_t old = co_await p.cas(word_, 0, 1, mo_cas_);
       if (old == 0) {
         MSQ_COUNT(kLockAcquire);
         co_return;
@@ -34,13 +42,16 @@ class SimTatasLock {
     }
   }
 
-  Task<void> unlock(Proc& p) { co_await p.write(word_, 0); }
+  Task<void> unlock(Proc& p) { co_await p.write(word_, 0, mo_unlock_); }
 
   [[nodiscard]] Addr addr() const noexcept { return word_; }
 
  private:
   Addr word_;
   double backoff_max_;
+  check::MemOrder mo_spin_;
+  check::MemOrder mo_cas_;
+  check::MemOrder mo_unlock_;
 };
 
 }  // namespace msq::sim

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <stdexcept>
 
+#include "sim/mo_table.hpp"
 #include "sim/queue_iface.hpp"
 #include "sim/sim_freelist.hpp"
 #include "tagged/tagged_index.hpp"
@@ -20,13 +21,25 @@ namespace msq::sim {
 
 class SimValoisQueue final : public SimQueue {
  public:
+  // `mo` overrides the annotated memory orders (mutation sweeps); the
+  // defaults mirror queues/valois_queue.hpp + mem/refcount_pool.hpp --
+  // rationale in sim/mo_table.hpp.
   SimValoisQueue(Engine& engine, std::uint32_t capacity,
-                 double backoff_max = 1024)
+                 double backoff_max = 1024, const MoTable* mo = nullptr)
       : engine_(engine),
-        pool_(engine, capacity + 1, /*words_per_node=*/3),
+        pool_(engine, capacity + 1, /*words_per_node=*/3, mo),
         head_(engine.memory().alloc(1)),
         tail_(engine.memory().alloc(1)),
         backoff_max_(backoff_max) {
+    mo_.init_value = mo_resolve(mo, "valois.init_value");
+    mo_.init_next = mo_resolve(mo, "valois.init_next");
+    mo_.ptr_read = mo_resolve(mo, "valois.ptr_read");
+    mo_.ptr_reread = mo_resolve(mo, "valois.ptr_reread");
+    mo_.refct_faa = mo_resolve(mo, "valois.refct_faa");
+    mo_.refct_cas = mo_resolve(mo, "valois.refct_cas");
+    mo_.link_cas = mo_resolve(mo, "valois.link_cas");
+    mo_.value_read = mo_resolve(mo, "valois.value_read");
+    mo_.reclaim_next = mo_resolve(mo, "valois.reclaim_next");
     SimMemory& mem = engine.memory();
     // All nodes start claimed (in the free list).
     for (std::uint32_t i = 0; i < pool_.capacity(); ++i) {
@@ -49,14 +62,15 @@ class SimValoisQueue final : public SimQueue {
   Task<bool> enqueue(Proc& p, std::uint64_t value) override {
     const std::uint32_t node = co_await allocate(p);
     if (node == tagged::kNullIndex) co_return false;
-    co_await p.write(pool_.value_addr(node), value);
-    co_await p.write(pool_.next_addr(node), tagged::TaggedIndex{}.bits());
+    co_await p.write(pool_.value_addr(node), value, mo_.init_value);
+    co_await p.write(pool_.next_addr(node), tagged::TaggedIndex{}.bits(),
+                     mo_.init_next);
 
     SimBackoff backoff(backoff_max_);
     for (;;) {
       const auto tail = co_await safe_read(p, tail_);
       const auto next = tagged::TaggedIndex::from_bits(
-          co_await p.read(pool_.next_addr(tail.index())));
+          co_await p.read(pool_.next_addr(tail.index()), mo_.ptr_read));
       if (next.is_null()) {
         co_await p.at("V_LINK");
         const bool linked =
@@ -91,7 +105,7 @@ class SimValoisQueue final : public SimQueue {
       const bool swung = co_await rc_cas(p, head_, head, first.index());
       if (swung) {
         const std::uint64_t value =
-            co_await p.read(pool_.value_addr(first.index()));
+            co_await p.read(pool_.value_addr(first.index()), mo_.value_read);
         co_await release(p, head.index());
         co_await release(p, first.index());
         co_return value;
@@ -131,7 +145,7 @@ class SimValoisQueue final : public SimQueue {
   Task<std::uint32_t> allocate(Proc& p) {
     const std::uint32_t node = co_await pool_.allocate(p);
     if (node != tagged::kNullIndex) {
-      co_await p.faa(refct_addr(node), 1);
+      co_await p.faa(refct_addr(node), 1, mo_.refct_faa);
     }
     co_return node;
   }
@@ -143,10 +157,11 @@ class SimValoisQueue final : public SimQueue {
   /// Valois SafeRead: increment-then-revalidate.
   Task<tagged::TaggedIndex> safe_read_cell(Proc& p, Addr cell) {
     for (;;) {
-      const auto seen = tagged::TaggedIndex::from_bits(co_await p.read(cell));
+      const auto seen = tagged::TaggedIndex::from_bits(
+          co_await p.read(cell, mo_.ptr_read));
       if (seen.is_null()) co_return seen;
-      co_await p.faa(refct_addr(seen.index()), 2);
-      const std::uint64_t again = co_await p.read(cell);
+      co_await p.faa(refct_addr(seen.index()), 2, mo_.refct_faa);
+      const std::uint64_t again = co_await p.read(cell, mo_.ptr_reread);
       if (again == seen.bits()) co_return seen;
       co_await release(p, seen.index());
     }
@@ -159,9 +174,12 @@ class SimValoisQueue final : public SimQueue {
     for (;;) {  // iterative tail-recursion over the reclamation chain
       bool reclaim = false;
       for (;;) {
-        const std::uint64_t old = co_await p.read(refct_addr(current));
+        // relaxed: optimistic first read; the CAS below validates and orders
+        const std::uint64_t old =
+            co_await p.read(refct_addr(current), check::MemOrder::kRelaxed);
         const std::uint64_t desired = (old == 2) ? 1 : old - 2;
-        const std::uint64_t swapped = co_await p.cas(refct_addr(current), old, desired);
+        const std::uint64_t swapped = co_await p.cas(
+            refct_addr(current), old, desired, mo_.refct_cas);
         if (swapped == old) {
           reclaim = (old == 2);
           break;
@@ -171,7 +189,7 @@ class SimValoisQueue final : public SimQueue {
       // Sole owner of a dead node: grab its outgoing link, recycle it,
       // then release the link target (the pinning cascade).
       const auto next = tagged::TaggedIndex::from_bits(
-          co_await p.read(pool_.next_addr(current)));
+          co_await p.read(pool_.next_addr(current), mo_.reclaim_next));
       co_await pool_.free(p, current);
       if (next.is_null()) co_return;
       current = next.index();
@@ -181,9 +199,11 @@ class SimValoisQueue final : public SimQueue {
   /// CAS of a shared link with CopyRef/Release bookkeeping.
   Task<bool> rc_cas(Proc& p, Addr cell, tagged::TaggedIndex expected,
                     std::uint32_t new_index) {
-    co_await p.faa(refct_addr(new_index), 2);  // reference for the new link
+    co_await p.faa(refct_addr(new_index), 2,
+                   mo_.refct_faa);  // reference for the new link
     const std::uint64_t old = co_await p.cas(
-        cell, expected.bits(), expected.successor(new_index).bits());
+        cell, expected.bits(), expected.successor(new_index).bits(),
+        mo_.link_cas);
     if (old == expected.bits()) {
       if (!expected.is_null()) co_await release(p, expected.index());
       co_return true;
@@ -192,11 +212,17 @@ class SimValoisQueue final : public SimQueue {
     co_return false;
   }
 
+  struct Orders {
+    check::MemOrder init_value, init_next, ptr_read, ptr_reread;
+    check::MemOrder refct_faa, refct_cas, link_cas, value_read, reclaim_next;
+  };
+
   Engine& engine_;
   SimNodePool pool_;
   Addr head_;
   Addr tail_;
   double backoff_max_;
+  Orders mo_{};
 };
 
 }  // namespace msq::sim

@@ -32,20 +32,20 @@ const char* algo_name(Algo algo) noexcept {
 
 std::unique_ptr<SimQueue> make_sim_queue(Algo algo, Engine& engine,
                                          std::uint32_t capacity,
-                                         double backoff_max) {
+                                         double backoff_max, const MoTable* mo) {
   switch (algo) {
     case Algo::kSingleLock:
       return std::make_unique<SimSingleLockQueue>(engine, capacity, backoff_max);
     case Algo::kMc:
       return std::make_unique<SimMcQueue>(engine, capacity, backoff_max);
     case Algo::kValois:
-      return std::make_unique<SimValoisQueue>(engine, capacity, backoff_max);
+      return std::make_unique<SimValoisQueue>(engine, capacity, backoff_max, mo);
     case Algo::kTwoLock:
       return std::make_unique<SimTwoLockQueue>(engine, capacity, backoff_max);
     case Algo::kPlj:
       return std::make_unique<SimPljQueue>(engine, capacity, backoff_max);
     case Algo::kMs:
-      return std::make_unique<SimMsQueue>(engine, capacity, backoff_max);
+      return std::make_unique<SimMsQueue>(engine, capacity, backoff_max, mo);
   }
   return nullptr;
 }

@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "sim/engine.hpp"
+#include "sim/mo_table.hpp"
 #include "sim/queue_iface.hpp"
 
 namespace msq::sim {
@@ -29,9 +30,11 @@ inline constexpr Algo kAllAlgos[] = {Algo::kSingleLock, Algo::kMc,
 
 /// Instantiate a simulated queue inside `engine`'s memory.  `backoff_max`
 /// bounds the exponential backoff window (0 disables backoff; ablation A2).
+/// `mo` overrides the annotated memory orders for the models that declare
+/// them (MS, Valois, and the lock/pool substrate) -- mutation sweeps only.
 [[nodiscard]] std::unique_ptr<SimQueue> make_sim_queue(
     Algo algo, Engine& engine, std::uint32_t capacity,
-    double backoff_max = 1024);
+    double backoff_max = 1024, const MoTable* mo = nullptr);
 
 struct SimRunConfig {
   Algo algo = Algo::kMs;

@@ -75,6 +75,9 @@ class alignas(16) AtomicCountedPtr {
   }
   static CountedPtr<T> unpack(unsigned __int128 bits) noexcept {
     return CountedPtr<T>{
+        // NOLINTNEXTLINE(performance-no-int-to-ptr): the low word IS a
+        // pointer previously packed by pack(); DWCAS works on the 128-bit
+        // integer image, so the round-trip is the whole point here.
         reinterpret_cast<T*>(static_cast<std::uintptr_t>(
             static_cast<std::uint64_t>(bits))),
         static_cast<std::uint64_t>(bits >> 64)};

@@ -1025,12 +1025,21 @@ TEST(RealThreadFaults, StaleHelperCannotDepositIntoARecycledDummysNewOp) {
   EXPECT_FALSE(v_got.load()) << "V's own dequeue should have read empty";
 
   // Act 7: release O.  Its helping must recover from whatever binding V
-  // left behind and deliver the true front value.
+  // left behind and deliver the true front value.  The recovery goes
+  // through the stale-binding unbind (site wfq.unbind): V's dead
+  // {D0, old-Head-tag} binding pollutes O's taken, and O's own helping
+  // pass must clear it before the live dummy can be bound -- an armed
+  // observer plan must see that window cross.
+  fault::FaultPlan plan_watch;  // no rules: pure site-hit observation
+  plan_watch.arm();
   plan_o2.release_halted();
   o.join();
+  plan_watch.disarm();
   EXPECT_TRUE(o_second_ok.load());
   EXPECT_EQ(o_second.load(), kP)
       << "stale helper completed the new dequeue with a recycled value";
+  EXPECT_GT(plan_watch.hits("wfq.unbind"), 0u)
+      << "O's recovery should have unbound V's stale pollution";
 
   // Conservation: exactly kQ remains.
   EXPECT_TRUE(queue.try_dequeue(out));

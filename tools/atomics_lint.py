@@ -17,6 +17,16 @@ explicit and justified at the site.  Four rules, over .hpp/.cpp files:
    two lines above.  src/obs/ is exempt wholesale: its one job is relaxed
    counting, and the header comment carries the argument once.
 
+2b. relaxed-proof (src/queues/ and src/mem/ only): a `// relaxed: <why>`
+   justification must also NAME ITS PROOF ARTIFACT -- `proof:
+   mo-sweep:<site>` referencing an MSQ_MO_SITE row in src/sim/mo_table.hpp
+   (the memory-order mutation sweep, tools/mo_mutation_sweep.cpp), or
+   `proof: test:<path>` referencing a directed test that exists.  Both
+   references are validated, so a renamed site or deleted test fails the
+   lint, not just the reader.  Continuation comments (`// relaxed: ^`,
+   `ditto`, `same ...`, `see ...`) inherit the primary's proof and are
+   exempt.
+
 3. aligned-shared-atomics: a `std::atomic<...>`/`std::atomic_flag` member
    or global declaration must be cache-line aligned -- `alignas(...)` on
    the declaration, a `port::CacheAligned` wrapper at the use site, or an
@@ -151,6 +161,74 @@ def check_relaxed_justified(path, lines, out):
                 "justification on this or the two preceding lines"))
 
 
+PROOF_DIRS = ("src/queues/", "src/mem/")
+# `^`, `E13 ^`, `ditto`, `same ...`, `see ...`: points at a primary
+# justification nearby, which carries the proof.
+CONTINUATION_RE = re.compile(r"^\s*(\^|ditto\b|same\b|see\b|[A-Za-z0-9_.]+\s*\^)")
+PROOF_RE = re.compile(r"proof:\s*(?:mo-sweep:([A-Za-z0-9_.]+)|test:([^\s)]+))")
+
+
+def repo_root():
+    """The checkout root, located relative to this script (tools/...)."""
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+_MO_SITES_CACHE = []
+
+
+def mo_sweep_sites():
+    """Site names parsed from the MSQ_MO_SITE rows of sim/mo_table.hpp, or
+    None when the table is unreadable (validation is then skipped)."""
+    if not _MO_SITES_CACHE:
+        path = os.path.join(repo_root(), "src", "sim", "mo_table.hpp")
+        try:
+            with open(path, encoding="utf-8") as f:
+                text = f.read()
+        except OSError:
+            _MO_SITES_CACHE.append(None)
+            return None
+        sites = set(re.findall(r'MSQ_MO_SITE\("([^"]+)"', text))
+        _MO_SITES_CACHE.append(sites or None)
+    return _MO_SITES_CACHE[0]
+
+
+def check_relaxed_proof(path, lines, out):
+    norm = path.replace(os.sep, "/")
+    if not any(d in norm for d in PROOF_DIRS):
+        return
+    for i, line in enumerate(lines):
+        idx = line.find("// relaxed:")
+        if idx < 0:
+            continue
+        justification = line[idx + len("// relaxed:"):]
+        if CONTINUATION_RE.match(justification):
+            continue  # inherits the primary justification's proof
+        # The proof may sit on the justification line or the next two
+        # (multi-line comments).
+        window = " ".join(lines[i:i + 3])
+        m = PROOF_RE.search(window)
+        if m is None:
+            out.append(Violation(
+                path, i + 1, "relaxed-proof",
+                "relaxed justification must name its proof artifact: "
+                "`proof: mo-sweep:<site>` (an MSQ_MO_SITE row in "
+                "src/sim/mo_table.hpp) or `proof: test:<path>`"))
+            continue
+        site, test = m.group(1), m.group(2)
+        if site is not None:
+            sites = mo_sweep_sites()
+            if sites is not None and site not in sites:
+                out.append(Violation(
+                    path, i + 1, "relaxed-proof",
+                    f"unknown mo-sweep site '{site}': not an MSQ_MO_SITE "
+                    f"row in src/sim/mo_table.hpp"))
+        else:
+            if not os.path.isfile(os.path.join(repo_root(), test)):
+                out.append(Violation(
+                    path, i + 1, "relaxed-proof",
+                    f"proof test '{test}' does not exist"))
+
+
 def check_aligned_atomics(path, lines, out):
     for i, line in enumerate(lines):
         code = strip_comment(line)
@@ -188,6 +266,7 @@ def lint_file(path):
     out = []
     check_explicit_order(path, lines, out)
     check_relaxed_justified(path, lines, out)
+    check_relaxed_proof(path, lines, out)
     check_aligned_atomics(path, lines, out)
     check_no_volatile(path, lines, out)
     return out
@@ -224,6 +303,49 @@ struct Ok {
 static inline void pause() { asm volatile("pause"); }
 """
 
+# Fixtures for the relaxed-proof rule must "live" under src/queues/ (the
+# rule is scoped); lint_text fakes the path.
+GOOD_PROOF_SNIPPET = """
+#include <atomic>
+struct OkProof {
+  // relaxed: E9 failure retries via the acquire reload
+  // (proof: mo-sweep:ms.E9.link_cas)
+  int a() { return g.load(std::memory_order_relaxed); }
+  // relaxed: covered by the directed sweep test (proof: test:tools/atomics_lint.py)
+  int b() { return g.load(std::memory_order_relaxed); }
+  // relaxed: ^
+  int c() { return g.load(std::memory_order_relaxed); }
+  alignas(64) std::atomic<int> g{0};
+};
+"""
+
+BAD_PROOF_SNIPPETS = {
+    "missing proof": """
+#include <atomic>
+struct Bad {
+  // relaxed: private until the CAS publishes it
+  int f() { return g.load(std::memory_order_relaxed); }
+  alignas(64) std::atomic<int> g{0};
+};
+""",
+    "unknown mo-sweep site": """
+#include <atomic>
+struct Bad {
+  // relaxed: justified (proof: mo-sweep:ms.E99.no_such_site)
+  int f() { return g.load(std::memory_order_relaxed); }
+  alignas(64) std::atomic<int> g{0};
+};
+""",
+    "nonexistent proof test": """
+#include <atomic>
+struct Bad {
+  // relaxed: justified (proof: test:tests/no_such_test.cpp)
+  int f() { return g.load(std::memory_order_relaxed); }
+  alignas(64) std::atomic<int> g{0};
+};
+""",
+}
+
 BAD_SNIPPETS = {
     "explicit-order": """
 #include <atomic>
@@ -253,6 +375,7 @@ def lint_text(name, text):
     lines = text.splitlines()
     check_explicit_order(name, lines, out)
     check_relaxed_justified(name, lines, out)
+    check_relaxed_proof(name, lines, out)
     check_aligned_atomics(name, lines, out)
     check_no_volatile(name, lines, out)
     return out
@@ -272,11 +395,24 @@ def self_test():
         if unexpected:
             failures.append(f"bad_{rule} also tripped: " +
                             "; ".join(str(v) for v in unexpected))
+    good_proof = lint_text("src/queues/good_proof.hpp", GOOD_PROOF_SNIPPET)
+    if good_proof:
+        failures.append("clean proof snippet flagged: " +
+                        "; ".join(str(v) for v in good_proof))
+    for name, snippet in BAD_PROOF_SNIPPETS.items():
+        got = lint_text("src/queues/bad_proof.hpp", snippet)
+        if not any(v.rule == "relaxed-proof" for v in got):
+            failures.append(f"seeded relaxed-proof violation ({name}) "
+                            f"NOT detected")
+        unexpected = [v for v in got if v.rule != "relaxed-proof"]
+        if unexpected:
+            failures.append(f"bad proof snippet ({name}) also tripped: " +
+                            "; ".join(str(v) for v in unexpected))
     for f in failures:
         print(f"self-test FAIL: {f}", file=sys.stderr)
     if not failures:
-        print("self-test ok: clean snippet passes, all 4 seeded "
-              "violations detected")
+        print("self-test ok: clean snippets pass, all 4 seeded rule "
+              "violations and all 3 seeded proof violations detected")
     return 1 if failures else 0
 
 
