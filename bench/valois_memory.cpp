@@ -4,118 +4,23 @@
 //    memory several times during runs of ten million enqueues and dequeues,
 //    using a free list initialized with 64,000 nodes."
 //
-// We reproduce the mechanism deterministically: worker threads run bounded-
-// occupancy enqueue/dequeue traffic against a 64,000-node pool while one
-// "delayed" reader periodically takes a SafeRead reference and sleeps on it
-// (the paper's inopportune preemption).  The bench reports pool occupancy
-// over time and the first allocation failure.  The same workload against
-// the MS queue runs to completion with a pool of just a few dozen nodes.
-#include <atomic>
-#include <chrono>
-#include <cstring>
-#include <iostream>
-#include <thread>
+// Retired into the cross-queue memory bench: this target is fig_memory
+// (compiled with FIG_MEMORY_NO_MAIN, see bench/CMakeLists.txt) restricted
+// to the valois family.  The steady run is the well-behaved baseline; the
+// stall run is the paper's delayed SafeRead reader pinning the reclamation
+// chain while bounded-occupancy traffic exhausts the 64,000-node pool.
+// All the original flags (--pairs/--capacity/--occupancy) still apply;
+// tests/valois_memory_test.cpp keeps the mechanism proof in-process.
 #include <vector>
 
-#include "queues/ms_queue.hpp"
-#include "queues/valois_queue.hpp"
-#include "tagged/tagged_index.hpp"
-
-namespace {
-
-struct RunStats {
-  std::uint64_t completed_pairs = 0;
-  std::uint64_t first_failure_at = 0;  // pair index of first alloc failure
-  std::uint64_t failures = 0;
-  std::size_t min_free = ~std::size_t{0};
-};
-
-RunStats run_valois(std::uint64_t target_pairs, std::uint32_t pool_nodes,
-                    bool with_delayed_reader) {
-  msq::queues::ValoisQueue<std::uint64_t> queue(pool_nodes);
-  RunStats stats;
-  std::atomic<bool> stop{false};
-
-  std::jthread delayed([&] {
-    if (!with_delayed_reader) return;
-    // The delayed process: grab a reference, sleep through "an arbitrary
-    // number" of other processes' operations, release, repeat.
-    while (!stop.load(std::memory_order_acquire)) {
-      const std::uint32_t pinned = queue.pool().safe_read(queue.head_cell()).index();
-      // 100ms is ~one scheduling-quantum-scale delay: long enough for the
-      // churning threads to request far more nodes than the pool holds.
-      std::this_thread::sleep_for(std::chrono::milliseconds(100));
-      if (pinned != msq::tagged::kNullIndex) queue.pool().release(pinned);
-      std::this_thread::sleep_for(std::chrono::milliseconds(1));
-    }
-  });
-
-  std::uint64_t out = 0;
-  for (std::uint64_t i = 0; i < target_pairs; ++i) {
-    // Max occupancy 12, as in the paper's experiment.
-    for (int burst = 0; burst < 12; ++burst) {
-      if (!queue.try_enqueue(i)) {
-        if (stats.failures++ == 0) stats.first_failure_at = i;
-      }
-    }
-    for (int burst = 0; burst < 12; ++burst) queue.try_dequeue(out);
-    ++stats.completed_pairs;
-    if (i % 1024 == 0) {
-      stats.min_free = std::min(stats.min_free, queue.unsafe_free_nodes());
-    }
-  }
-  stop.store(true, std::memory_order_release);
-  return stats;
-}
-
-}  // namespace
+int fig_memory_main(int argc, char** argv);
 
 int main(int argc, char** argv) {
-  std::uint64_t pairs = 300'000;  // x12 ops per burst (~2s default run)
-  std::uint32_t nodes = 64'000;  // the paper's free-list size
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--pairs") == 0 && i + 1 < argc) {
-      pairs = std::strtoull(argv[++i], nullptr, 10);
-    } else if (std::strcmp(argv[i], "--nodes") == 0 && i + 1 < argc) {
-      nodes = static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
-    }
-  }
-
-  std::cout << "== A4: Valois memory exhaustion (paper section 1) ==\n"
-            << "pool " << nodes << " nodes, queue occupancy <= 12, "
-            << pairs << " bursts\n\n";
-
-  const RunStats clean = run_valois(pairs, nodes, /*with_delayed_reader=*/false);
-  std::cout << "without delayed reader: failures=" << clean.failures
-            << "  min free nodes=" << clean.min_free << '\n';
-
-  const RunStats pinned = run_valois(pairs, nodes, /*with_delayed_reader=*/true);
-  std::cout << "with delayed reader:    failures=" << pinned.failures
-            << "  min free nodes=" << pinned.min_free;
-  if (pinned.failures > 0) {
-    std::cout << "  first failure at burst " << pinned.first_failure_at;
-  }
-  std::cout << '\n';
-
-  // Control: the MS queue with a pool barely larger than the occupancy
-  // bound completes the same traffic without a single allocation failure.
-  {
-    msq::queues::MsQueue<std::uint64_t> queue(16);
-    std::uint64_t out = 0;
-    std::uint64_t failures = 0;
-    for (std::uint64_t i = 0; i < pairs; ++i) {
-      for (int b = 0; b < 12; ++b) failures += !queue.try_enqueue(i);
-      for (int b = 0; b < 12; ++b) queue.try_dequeue(out);
-    }
-    std::cout << "MS queue control (16-node pool, same traffic): failures="
-              << failures << '\n';
-  }
-
-  std::cout << "\nConclusion: a single delayed process holding one SafeRead\n"
-               "reference pins every subsequently dequeued node (each "
-               "unreclaimed\nnode's link pins its successor), so bounded-"
-               "occupancy traffic exhausts\nan arbitrarily large pool -- the "
-               "paper's argument for why the counted\npointer + free list "
-               "scheme of the MS queue is the practical choice.\n";
-  return 0;
+  std::vector<char*> args(argv, argv + argc);
+  char only_flag[] = "--only";
+  char only_name[] = "valois";
+  args.push_back(only_flag);
+  args.push_back(only_name);
+  args.push_back(nullptr);
+  return fig_memory_main(static_cast<int>(args.size()) - 1, args.data());
 }

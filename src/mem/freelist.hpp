@@ -46,6 +46,7 @@ class FreeList {
       const tagged::TaggedIndex next = pool_[top.index()].next.load(std::memory_order_acquire);
       if (top_.compare_and_swap(top, top.successor(next.index()), std::memory_order_acq_rel)) {
         MSQ_COUNT(kPoolGet);
+        MSQ_POOL_GAUGE(1);
         return top.index();
       }
       MSQ_COUNT(kPoolCasRetry);
@@ -74,6 +75,7 @@ class FreeList {
       }
       if (top_.compare_and_swap(top, top.successor(it.index()), std::memory_order_acq_rel)) {
         MSQ_COUNT_N(kPoolGet, n);
+        MSQ_POOL_GAUGE(n);
         return n;
       }
       MSQ_COUNT(kPoolCasRetry);
@@ -82,12 +84,25 @@ class FreeList {
 
   /// Push a node back.  The node must have come from this pool and must not
   /// be reachable from any shared structure.
-  void free(std::uint32_t index) noexcept { push(index); }
+  void free(std::uint32_t index) noexcept {
+    MSQ_POOL_GAUGE(-1);
+    push(index);
+  }
 
   /// Push a pre-linked chain (head -> ... -> tail through the nodes' `next`
   /// fields, tail's next ignored) with ONE successful CAS -- the magazine
   /// flush path.  The chain must be private to the caller.
   void free_chain(std::uint32_t head, std::uint32_t tail) noexcept {
+    if (obs::armed()) {
+      // Chain length for the pool gauge: the chain is still private to the
+      // caller, so the walk is race-free.  Armed-only, like the gauge.
+      std::int64_t len = 1;
+      for (std::uint32_t it = head; it != tail;
+           it = pool_[it].next.load(std::memory_order_relaxed).index()) {  // relaxed: private chain; see free_chain comment below (proof: mo-sweep:fl.push_link)
+        ++len;
+      }
+      obs::pool_gauge_add(-len);
+    }
     // Tag monotonicity (see push): bump the tail's own count; the inner
     // chain links are the caller's writes and must bump likewise.
     // relaxed: the chain is private to the caller until the CAS publishes it (proof: mo-sweep:fl.push_link)

@@ -81,6 +81,7 @@ class RefCountPool {
         // which is one of the races TR 599 fixes.
         n.rc.refct_claim.fetch_add(1, std::memory_order_acq_rel);
         MSQ_COUNT(kPoolGet);
+        MSQ_POOL_GAUGE(1);
         return top.index();
       }
     }
@@ -150,6 +151,7 @@ class RefCountPool {
   /// This is where the pinning cascade comes from -- a node that is never
   /// reclaimed never releases its successor.
   void reclaim(std::uint32_t index) noexcept {
+    MSQ_POOL_GAUGE(-1);
     Node& n = pool_[index];
     const tagged::TaggedIndex next = n.rc.next.load(std::memory_order_acquire);
     if (!next.is_null()) release(next.index());

@@ -76,9 +76,11 @@ enum class Counter : std::uint32_t {
   kQueueFull,     // bounded-capacity enqueue refusals (ring full, not pool)
   kShedRetry,     // open-loop producer retries after an enqueue refusal
   kShed,          // open-loop offered ops dropped after the retry budget
+  kScqCatchup,    // SCQ dequeuer CAS'd a lagging tail forward to head+1
+  kScqThresholdReset,  // SCQ enqueue re-armed the dequeue threshold (3n-1)
 };
 
-inline constexpr std::size_t kCounterCount = 26;
+inline constexpr std::size_t kCounterCount = 28;
 
 inline constexpr std::array<Counter, kCounterCount> kAllCounters = {
     Counter::kEnqueue,      Counter::kDequeue,    Counter::kDequeueEmpty,
@@ -89,7 +91,8 @@ inline constexpr std::array<Counter, kCounterCount> kAllCounters = {
     Counter::kMagHit,       Counter::kMagRefill,  Counter::kMagFlush,
     Counter::kShardHit,     Counter::kShardSteal, Counter::kShardRehome,
     Counter::kEmptyRescan,  Counter::kWfHelp,     Counter::kQueueFull,
-    Counter::kShedRetry,    Counter::kShed};
+    Counter::kShedRetry,    Counter::kShed,       Counter::kScqCatchup,
+    Counter::kScqThresholdReset};
 
 [[nodiscard]] constexpr const char* counter_name(Counter c) noexcept {
   switch (c) {
@@ -119,6 +122,8 @@ inline constexpr std::array<Counter, kCounterCount> kAllCounters = {
     case Counter::kQueueFull:    return "queue_full";
     case Counter::kShedRetry:    return "shed_retry";
     case Counter::kShed:         return "shed";
+    case Counter::kScqCatchup:   return "scq_catchup";
+    case Counter::kScqThresholdReset: return "scq_threshold_reset";
   }
   return "?";
 }
@@ -223,6 +228,64 @@ inline void reset() noexcept {
   }
 }
 
+namespace detail {
+
+/// The pool_hwm gauge is NOT sharded, unlike the counters above: a
+/// high-water mark is a max over the true global value, and max does not
+/// distribute over per-shard sums (each shard's local peak can occur at a
+/// different instant, so summing shard maxima overstates the real peak).
+/// Exactness requires one shared current/hwm pair; allocators absorb one
+/// armed fetch_add per pool transition, which the benches that arm it are
+/// explicitly paying to measure.
+struct alignas(port::kCacheLine) PoolGauge {
+  // share-ok: current+hwm are one gauge updated by the same sites; the
+  // struct is cache-aligned as a unit
+  std::atomic<std::int64_t> current{0};
+  // share-ok: same gauge as `current` above, aligned as a unit
+  std::atomic<std::int64_t> hwm{0};
+};
+
+inline PoolGauge& pool_gauge() noexcept {
+  static PoolGauge g;
+  return g;
+}
+
+}  // namespace detail
+
+/// Record a pool population change (+n allocate, -n free).  Unarmed: one
+/// relaxed load, identical cost profile to count().
+inline void pool_gauge_add(std::int64_t delta) noexcept {
+  if (!detail::g_armed.load(std::memory_order_relaxed)) [[likely]] return;
+  detail::PoolGauge& g = detail::pool_gauge();
+  const std::int64_t now =
+      g.current.fetch_add(delta, std::memory_order_relaxed) + delta;
+  if (delta > 0) {
+    std::int64_t seen = g.hwm.load(std::memory_order_relaxed);
+    while (seen < now &&
+           !g.hwm.compare_exchange_weak(seen, now, std::memory_order_relaxed,
+                                        std::memory_order_relaxed)) {
+    }
+  }
+}
+
+/// Peak nodes outstanding since the last pool_gauge_reset().
+[[nodiscard]] inline std::int64_t pool_gauge_hwm() noexcept {
+  return detail::pool_gauge().hwm.load(std::memory_order_acquire);
+}
+
+/// Nodes outstanding right now (relative to the last reset).
+[[nodiscard]] inline std::int64_t pool_gauge_current() noexcept {
+  return detail::pool_gauge().current.load(std::memory_order_acquire);
+}
+
+/// Re-zero the gauge.  Call before constructing the structure under test so
+/// the baseline is "no nodes outstanding"; like reset(), only meaningful
+/// while no instrumented code runs.
+inline void pool_gauge_reset() noexcept {
+  detail::pool_gauge().current.store(0, std::memory_order_relaxed);
+  detail::pool_gauge().hwm.store(0, std::memory_order_relaxed);
+}
+
 #else  // MSQ_OBS == 0: constexpr no-ops (see header comment, point 2).
 
 constexpr void arm() noexcept {}
@@ -231,6 +294,12 @@ constexpr void disarm() noexcept {}
 constexpr void count(Counter, std::uint64_t = 1) noexcept {}
 [[nodiscard]] inline Snapshot snapshot() noexcept { return {}; }
 constexpr void reset() noexcept {}
+constexpr void pool_gauge_add(std::int64_t) noexcept {}
+[[nodiscard]] constexpr std::int64_t pool_gauge_hwm() noexcept { return 0; }
+[[nodiscard]] constexpr std::int64_t pool_gauge_current() noexcept {
+  return 0;
+}
+constexpr void pool_gauge_reset() noexcept {}
 
 #endif  // MSQ_OBS
 
@@ -262,3 +331,5 @@ class SpinTally {
 #define MSQ_COUNT(counter) ::msq::obs::count(::msq::obs::Counter::counter)
 #define MSQ_COUNT_N(counter, n) \
   ::msq::obs::count(::msq::obs::Counter::counter, (n))
+/// Pool-population gauge sugar for allocator sites (see pool_gauge_add).
+#define MSQ_POOL_GAUGE(delta) ::msq::obs::pool_gauge_add(delta)

@@ -155,6 +155,11 @@ class MsQueue {
     return freelist_.unsafe_size();
   }
 
+  /// Bytes of one pool node (bench/fig_memory: peak_nodes x node_bytes).
+  [[nodiscard]] static constexpr std::size_t node_bytes() noexcept {
+    return sizeof(Node);
+  }
+
  private:
   struct Node {
     mem::ValueCell<T> value;

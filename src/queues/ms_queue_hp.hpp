@@ -40,6 +40,7 @@ class MsQueueHp {
   explicit MsQueueHp(mem::HazardDomain& domain = mem::default_domain())
       : domain_(domain) {
     Node* dummy = new Node{};
+    MSQ_POOL_GAUGE(1);
     // relaxed: construction is single-threaded; publication happens when (proof: test:tests/queue_basic_test.cpp)
     // the queue itself is handed to other threads
     head_.value.store(dummy, std::memory_order_relaxed);
@@ -54,6 +55,7 @@ class MsQueueHp {
       // relaxed: no concurrent access can exist during destruction (proof: test:tests/queue_basic_test.cpp)
       Node* next = node->next.load(std::memory_order_relaxed);
       delete node;
+      MSQ_POOL_GAUGE(-1);
       node = next;
     }
     domain_.scan();  // give back what retire() buffered
@@ -65,6 +67,7 @@ class MsQueueHp {
   /// Unbounded: fails only on allocation failure (propagates bad_alloc).
   bool try_enqueue(T value) {
     Node* node = new Node{.value = std::move(value)};
+    MSQ_POOL_GAUGE(1);
     BackoffPolicy backoff;
     for (;;) {
       Node* tail = domain_.protect(0, tail_.value);  // E5 + hazard publish
@@ -126,7 +129,14 @@ class MsQueueHp {
                                                 std::memory_order_relaxed)) {  // relaxed: D12 ^
           out = value;
           clear_hazards();
-          domain_.retire(head);  // D14: deferred free replaces the free list
+          // D14: deferred free replaces the free list.  The gauge decrement
+          // rides in the deleter, not here: a retired-but-unreclaimed node
+          // is still resident (the limbo population the memory bench puts
+          // next to the pool-backed queues' bounded footprints).
+          domain_.retire(head, [](void* p) {
+            delete static_cast<Node*>(p);
+            MSQ_POOL_GAUGE(-1);
+          });
           MSQ_COUNT(kDequeue);
           return true;
         }
@@ -140,6 +150,11 @@ class MsQueueHp {
     T value;
     if (try_dequeue(value)) return value;
     return std::nullopt;
+  }
+
+  /// Bytes of one heap node (bench/fig_memory: peak_nodes x node_bytes).
+  [[nodiscard]] static constexpr std::size_t node_bytes() noexcept {
+    return sizeof(Node);
   }
 
  private:

@@ -15,6 +15,8 @@
 //     MsQueueHp     -- MS queue with hazard-pointer reclamation (2004)
 //     RingQueue     -- ticketed bounded MPMC ring (Vyukov-style, modern)
 //     SegmentQueue  -- unbounded FAA-segment queue (LCRQ/SCQ lineage)
+//     ScqQueue      -- bounded indirect SCQ ring (Nikolaev): lock-free,
+//                      memory bounded at exactly capacity + O(n) indices
 //     ShardedQueue  -- queue-of-queues front end with work-stealing dequeue
 //     WfQueue       -- wait-free announcement-helping wrapper over the core
 #pragma once
@@ -27,6 +29,7 @@
 #include "queues/plj_queue.hpp"
 #include "queues/queue_concept.hpp"
 #include "queues/ring_queue.hpp"
+#include "queues/scq_queue.hpp"
 #include "queues/segment_queue.hpp"
 #include "queues/sharded_queue.hpp"
 #include "queues/single_lock_queue.hpp"

@@ -134,6 +134,14 @@ class RingQueue {
     return std::nullopt;
   }
 
+  [[nodiscard]] std::uint32_t capacity() const noexcept { return capacity_; }
+
+  /// Bytes of one ring slot (bench/fig_memory: the whole footprint is
+  /// capacity() x node_bytes(), allocated once at construction).
+  [[nodiscard]] static constexpr std::size_t node_bytes() noexcept {
+    return sizeof(Cell);
+  }
+
  private:
   struct Cell {
     // share-ok: seq+value packed per slot by design (one slot, one line

@@ -271,6 +271,12 @@ class SegmentQueue {
     return unsafe_free_segments() * kSlots;
   }
 
+  /// Bytes of one SEGMENT -- the allocation grain the pool gauge counts
+  /// (bench/fig_memory: peak_nodes x node_bytes).
+  [[nodiscard]] static constexpr std::size_t node_bytes() noexcept {
+    return sizeof(Segment);
+  }
+
  private:
   // Slot states: single-shot handshake, in transition order.
   static constexpr std::uint32_t kEmpty = 0;   // no value yet

@@ -157,6 +157,11 @@ class ValoisQueue {
     return head_.value;
   }
 
+  /// Bytes of one pool node (bench/fig_memory: peak_nodes x node_bytes).
+  [[nodiscard]] static constexpr std::size_t node_bytes() noexcept {
+    return sizeof(Node);
+  }
+
  private:
   /// CAS a shared link cell with reference-count bookkeeping: the new
   /// target's reference is taken before the CAS and returned on failure;

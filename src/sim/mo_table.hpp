@@ -210,6 +210,73 @@ inline constexpr MoSite kMoSites[] = {
                 "reclamation cascade; ordered through refct_cas + the "
                 "pool mesh"),
 
+    // --- SCQ index ring (sim/scq_ring_sim.hpp; real: queues/scq_queue.hpp)
+    MSQ_MO_SITE("scq.enq_faa_tail", MoKind::kRmw, check::MemOrder::kAcqRel,
+                false, false, false, false,
+                "ticket allocation; publication rides the entry CAS, and "
+                "the tail word is only consumed by the empty-verdict path "
+                "whose own load re-acquires it"),
+    MSQ_MO_SITE("scq.enq_entry_load", MoKind::kLoad, check::MemOrder::kAcquire,
+                false, false, true, false,
+                "pre-CAS read of an entry with concurrent CAS/fetch_or "
+                "writers: atomicity load-bearing, ordering masked by "
+                "enq_cas (failure re-reads through the CAS itself)"),
+    MSQ_MO_SITE("scq.enq_head_load", MoKind::kLoad, check::MemOrder::kAcquire,
+                false, false, true, false,
+                "the unsafe-entry deposit guard (head <= ticket): value "
+                "advisory, never dereferenced, but a sibling consumer's "
+                "head FAA races a plain read (world s reaches the guard; "
+                "the 1p1c world never does)"),
+    MSQ_MO_SITE("scq.enq_cas", MoKind::kRmw, check::MemOrder::kAcqRel,
+                false, true, false, false,
+                "THE publication edge: releases the producer's plain "
+                "payload write to the consumer whose entry load/fetch_or "
+                "acquires it -- nothing masks it, unlike ms.E9 (there is "
+                "no pool mesh here; bounded rings reuse entries in place)"),
+    MSQ_MO_SITE("scq.threshold_check", MoKind::kLoad, check::MemOrder::kAcquire,
+                false, false, true, false,
+                "the threshold reads (dequeue fast path + enqueue "
+                "reset-skip); liveness-only value, but demoting to plain "
+                "races with concurrent threshold fetch_subs"),
+    MSQ_MO_SITE("scq.threshold_store", MoKind::kStore, check::MemOrder::kRelease,
+                false, false, true, false,
+                "threshold re-arm; liveness-only value (a stale read just "
+                "costs an extra empty verdict), plain demotion races with "
+                "the dequeuers' fetch_subs"),
+    MSQ_MO_SITE("scq.threshold_faa", MoKind::kRmw, check::MemOrder::kAcqRel,
+                false, false, false, false,
+                "the livelock-freedom budget decrement: pure liveness, no "
+                "payload flows through it -- the bound is proven over "
+                "schedules in tests/sim_scq_test.cpp, not by ordering"),
+    MSQ_MO_SITE("scq.deq_faa_head", MoKind::kRmw, check::MemOrder::kAcqRel,
+                false, false, false, false,
+                "ticket allocation; see scq.enq_faa_tail"),
+    MSQ_MO_SITE("scq.deq_entry_load", MoKind::kLoad, check::MemOrder::kAcquire,
+                false, false, true, false,
+                "entry probe with concurrent CAS writers: atomicity "
+                "load-bearing; its acquire is mutually masked with the "
+                "consume fetch_or's (the payload index is taken from the "
+                "fetch_or RESULT, so either acquire alone suffices)"),
+    MSQ_MO_SITE("scq.deq_consume_or", MoKind::kRmw, check::MemOrder::kAcqRel,
+                false, false, false, false,
+                "the consume (index |= bottom): its acquire is mutually "
+                "masked with deq_entry_load's -- fl.pop_top/pop_cas all "
+                "over again; release protects nothing (the entry it blanks "
+                "is republished by the next enq_cas)"),
+    MSQ_MO_SITE("scq.deq_mark_cas", MoKind::kRmw, check::MemOrder::kAcqRel,
+                false, false, false, false,
+                "cycle-advance / unsafe-mark CAS: control-flow only, no "
+                "payload is published or consumed through it"),
+    MSQ_MO_SITE("scq.deq_tail_load", MoKind::kLoad, check::MemOrder::kAcquire,
+                false, false, true, false,
+                "the empty-verdict read (tail <= head+1): value advisory "
+                "-- a stale read only delays the verdict -- but plain "
+                "demotion races with every enqueuer's FAA"),
+    MSQ_MO_SITE("scq.catchup_cas", MoKind::kRmw, check::MemOrder::kAcqRel,
+                false, false, false, false,
+                "tail catch-up: liveness-only (keeps deposits ahead of the "
+                "scanned region); losers re-read both counters"),
+
     // --- litmus worlds (tools/mo_mutation_sweep.cpp, "
     //     tests/sim_weak_memory_test.cpp) --------------------------------
     MSQ_MO_SITE("sb.store_flag", MoKind::kStore, check::MemOrder::kSeqCst,

@@ -1,0 +1,289 @@
+// Simulated SCQ index ring, mirroring queues/scq_queue.hpp::ScqRing
+// op-for-op so DPOR schedules over this model transfer to the real code.
+//
+// Word layout (simulated memory):
+//   entries_[0..2*half)  -- packed {cycle[63:32], unsafe[31], index[30:0]}
+//   head_, tail_         -- FAA ticket counters
+//   threshold_           -- int64 search budget, stored as two's-complement
+//                           in the u64 word (faa with ~0ull decrements)
+//
+// Two deliberate divergences from the real header, both annotated inline:
+//  * the consume fetch_or becomes a CAS loop (the engine has no fetch_or;
+//    equivalent because only the unsafe bit can change under our feet),
+//  * `threshold_enabled=false` removes the budget entirely -- the knob
+//    tests/sim_scq_test.cpp uses to EXHIBIT the livelock the threshold
+//    exists to kill.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/engine.hpp"
+#include "sim/mo_table.hpp"
+#include "sim/task.hpp"
+
+namespace msq::sim {
+
+class SimScqRing {
+ public:
+  static constexpr std::uint32_t kBottom = 0x7FFFFFFFu;
+
+  /// Per-dequeue progress accounting for the threshold-bound proof: the
+  /// engine runs coroutines cooperatively on one OS thread, so plain
+  /// (non-simulated) members are race-free.
+  struct Stats {
+    std::uint64_t last_deq_rounds = 0;  // FAA rounds of the latest dequeue
+    std::uint64_t max_deq_rounds = 0;   // worst dequeue seen on this ring
+  };
+
+  // `mo` overrides the annotated orders (mutation sweeps); defaults mirror
+  // queues/scq_queue.hpp -- rationale per site in sim/mo_table.hpp.
+  SimScqRing(Engine& engine, std::uint32_t half, bool full,
+             const MoTable* mo = nullptr, bool threshold_enabled = true)
+      : half_(half),
+        size_(half * 2),
+        mask_(size_ - 1),
+        order_(log2_pow2(size_)),
+        rot_(order_ < kMaxRot ? order_ : kMaxRot),
+        threshold_init_(3 * static_cast<std::int64_t>(half) - 1),
+        threshold_enabled_(threshold_enabled),
+        entries_(engine.memory().alloc(size_)),
+        head_(engine.memory().alloc(1)),
+        tail_(engine.memory().alloc(1)),
+        threshold_(engine.memory().alloc(1)),
+        mo_enq_faa_tail_(mo_resolve(mo, "scq.enq_faa_tail")),
+        mo_enq_entry_load_(mo_resolve(mo, "scq.enq_entry_load")),
+        mo_enq_head_load_(mo_resolve(mo, "scq.enq_head_load")),
+        mo_enq_cas_(mo_resolve(mo, "scq.enq_cas")),
+        mo_threshold_check_(mo_resolve(mo, "scq.threshold_check")),
+        mo_threshold_store_(mo_resolve(mo, "scq.threshold_store")),
+        mo_threshold_faa_(mo_resolve(mo, "scq.threshold_faa")),
+        mo_deq_faa_head_(mo_resolve(mo, "scq.deq_faa_head")),
+        mo_deq_entry_load_(mo_resolve(mo, "scq.deq_entry_load")),
+        mo_deq_consume_or_(mo_resolve(mo, "scq.deq_consume_or")),
+        mo_deq_mark_cas_(mo_resolve(mo, "scq.deq_mark_cas")),
+        mo_deq_tail_load_(mo_resolve(mo, "scq.deq_tail_load")),
+        mo_catchup_cas_(mo_resolve(mo, "scq.catchup_cas")) {
+    // Construction is single-site: raw memory writes, no simulated cost
+    // (matches the real constructor's relaxed stores).
+    SimMemory& mem = engine.memory();
+    for (std::uint32_t i = 0; i < size_; ++i) {
+      mem.word(entries_ + i) = make_entry(0xFFFFFFFFu, true, kBottom);
+    }
+    mem.word(head_) = 0;
+    mem.word(tail_) = 0;
+    if (full) {
+      for (std::uint32_t i = 0; i < half_; ++i) {
+        mem.word(entries_ + remap(i)) = make_entry(0, true, i);
+      }
+      mem.word(tail_) = half_;
+      mem.word(threshold_) = static_cast<std::uint64_t>(threshold_init_);
+    } else {
+      mem.word(threshold_) = static_cast<std::uint64_t>(std::int64_t{-1});
+    }
+  }
+
+  /// Deposit `idx`.  `max_rounds` bounds the FAA-retry loop so DPOR worlds
+  /// that overfill the ring (or race a lagging consumer) stay finite;
+  /// 0 = unbounded, like the real code.  Returns false iff the budget ran
+  /// out with the deposit still pending.
+  Task<bool> enqueue(Proc& p, std::uint32_t idx, std::uint32_t max_rounds = 0) {
+    for (std::uint32_t round = 0;; ++round) {
+      if (max_rounds != 0 && round == max_rounds) co_return false;
+      const std::uint64_t t = co_await p.faa(tail_, 1, mo_enq_faa_tail_);
+      const Addr slot = entries_ + remap(t);
+      const std::uint32_t cycle = ticket_cycle(t);
+      std::uint64_t e = co_await p.read(slot, mo_enq_entry_load_);
+      for (;;) {
+        if (cycle_less(entry_cycle(e), cycle) && entry_idx(e) == kBottom &&
+            (entry_safe(e) ||
+             co_await p.read(head_, mo_enq_head_load_) <= t)) {
+          const std::uint64_t seen = co_await p.cas(
+              slot, e, make_entry(cycle, true, idx), mo_enq_cas_);
+          if (seen != e) {
+            e = seen;
+            continue;  // entry changed: re-test the same entry
+          }
+          if (threshold_enabled_) {
+            const auto th = static_cast<std::int64_t>(
+                co_await p.read(threshold_, mo_threshold_check_));
+            if (th != threshold_init_) {
+              co_await p.write(threshold_,
+                               static_cast<std::uint64_t>(threshold_init_),
+                               mo_threshold_store_);
+            }
+          }
+          co_return true;
+        }
+        break;  // not depositable this cycle: take a new ticket
+      }
+    }
+  }
+
+  /// Take an index, or kBottom if the ring is (observably) empty.
+  Task<std::uint32_t> dequeue(Proc& p) {
+    if (threshold_enabled_) {
+      const auto th = static_cast<std::int64_t>(
+          co_await p.read(threshold_, mo_threshold_check_));
+      if (th < 0) co_return kBottom;
+    }
+    std::uint64_t rounds = 0;
+    for (;;) {
+      ++rounds;
+      const std::uint64_t h = co_await p.faa(head_, 1, mo_deq_faa_head_);
+      const Addr slot = entries_ + remap(h);
+      const std::uint32_t cycle = ticket_cycle(h);
+      std::uint64_t e = co_await p.read(slot, mo_deq_entry_load_);
+      for (;;) {
+        if (entry_cycle(e) == cycle) {
+          // Real code: fetch_or(kIdxMask).  The engine has no fetch_or, so
+          // CAS until it lands; between our load and the CAS only LATER
+          // dequeue tickets can touch a cycle-matching occupied entry, and
+          // all they can do is set the unsafe bit -- the index bits stay
+          // ours, so retrying with the seen value is the same fetch_or.
+          for (;;) {
+            const std::uint64_t seen =
+                co_await p.cas(slot, e, e | kIdxMask, mo_deq_consume_or_);
+            if (seen == e) break;
+            e = seen;
+          }
+          note_rounds(rounds);
+          co_return entry_idx(e);
+        }
+        if (cycle_less(entry_cycle(e), cycle)) {
+          const std::uint64_t desired =
+              entry_idx(e) == kBottom
+                  ? make_entry(cycle, entry_safe(e), kBottom)
+                  : (e | kUnsafeBit);
+          const std::uint64_t seen =
+              co_await p.cas(slot, e, desired, mo_deq_mark_cas_);
+          if (seen != e) {
+            e = seen;
+            continue;  // entry changed: re-test (it may now match our cycle)
+          }
+        }
+        const std::uint64_t t = co_await p.read(tail_, mo_deq_tail_load_);
+        if (t <= h + 1) {
+          co_await catch_up(p, t, h + 1);
+          if (threshold_enabled_) {
+            (void)co_await p.faa(threshold_, ~0ull, mo_threshold_faa_);
+          }
+          note_rounds(rounds);
+          co_return kBottom;
+        }
+        if (threshold_enabled_) {
+          const auto prior = static_cast<std::int64_t>(
+              co_await p.faa(threshold_, ~0ull, mo_threshold_faa_));
+          if (prior <= 0) {
+            note_rounds(rounds);
+            co_return kBottom;  // search budget exhausted
+          }
+        }
+        break;  // keep scanning with a new ticket
+      }
+    }
+  }
+
+  [[nodiscard]] std::uint32_t half() const noexcept { return half_; }
+  [[nodiscard]] std::int64_t threshold_init() const noexcept {
+    return threshold_init_;
+  }
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+  // Raw-word peeks for test assertions (no simulated cost).
+  [[nodiscard]] std::uint64_t peek_head(const Engine& e) const {
+    return e.memory().peek(head_);
+  }
+  [[nodiscard]] std::uint64_t peek_tail(const Engine& e) const {
+    return e.memory().peek(tail_);
+  }
+  [[nodiscard]] std::int64_t peek_threshold(const Engine& e) const {
+    return static_cast<std::int64_t>(e.memory().peek(threshold_));
+  }
+
+  /// Pre-arm the search budget as if a deposit had just happened (models
+  /// "some earlier enqueue/dequeue pair completed"); construction-time
+  /// only, raw write.
+  void arm_threshold(Engine& e) const {
+    e.memory().word(threshold_) = static_cast<std::uint64_t>(threshold_init_);
+  }
+
+ private:
+  static constexpr std::uint64_t kIdxMask = 0x7FFFFFFFull;
+  static constexpr std::uint64_t kUnsafeBit = 0x80000000ull;
+  static constexpr std::uint32_t kMaxRot = 4;
+
+  static constexpr std::uint64_t make_entry(std::uint32_t cycle, bool safe,
+                                            std::uint32_t idx) noexcept {
+    return (static_cast<std::uint64_t>(cycle) << 32) |
+           (safe ? 0ull : kUnsafeBit) | idx;
+  }
+  static constexpr std::uint32_t entry_cycle(std::uint64_t e) noexcept {
+    return static_cast<std::uint32_t>(e >> 32);
+  }
+  static constexpr bool entry_safe(std::uint64_t e) noexcept {
+    return (e & kUnsafeBit) == 0;
+  }
+  static constexpr std::uint32_t entry_idx(std::uint64_t e) noexcept {
+    return static_cast<std::uint32_t>(e & kIdxMask);
+  }
+  static constexpr bool cycle_less(std::uint32_t a, std::uint32_t b) noexcept {
+    return static_cast<std::int32_t>(a - b) < 0;
+  }
+  static constexpr std::uint32_t log2_pow2(std::uint32_t n) noexcept {
+    std::uint32_t l = 0;
+    while ((1u << l) < n) ++l;
+    return l;
+  }
+
+  [[nodiscard]] std::uint32_t ticket_cycle(std::uint64_t ticket) const
+      noexcept {
+    return static_cast<std::uint32_t>(ticket >> order_);
+  }
+  [[nodiscard]] std::uint32_t remap(std::uint64_t ticket) const noexcept {
+    const std::uint32_t i = static_cast<std::uint32_t>(ticket) & mask_;
+    return ((i << rot_) | (i >> (order_ - rot_))) & mask_;
+  }
+
+  Task<void> catch_up(Proc& p, std::uint64_t t, std::uint64_t h) {
+    for (;;) {
+      const std::uint64_t seen = co_await p.cas(tail_, t, h, mo_catchup_cas_);
+      if (seen == t) co_return;
+      h = co_await p.read(head_, mo_enq_head_load_ /*the head-word load site*/);
+      t = co_await p.read(tail_, mo_deq_tail_load_);
+      if (t >= h) co_return;
+    }
+  }
+
+  void note_rounds(std::uint64_t rounds) noexcept {
+    stats_.last_deq_rounds = rounds;
+    if (rounds > stats_.max_deq_rounds) stats_.max_deq_rounds = rounds;
+  }
+
+  std::uint32_t half_;
+  std::uint32_t size_;
+  std::uint32_t mask_;
+  std::uint32_t order_;
+  std::uint32_t rot_;
+  std::int64_t threshold_init_;
+  bool threshold_enabled_;
+  Addr entries_;
+  Addr head_;
+  Addr tail_;
+  Addr threshold_;
+  check::MemOrder mo_enq_faa_tail_;
+  check::MemOrder mo_enq_entry_load_;
+  check::MemOrder mo_enq_head_load_;
+  check::MemOrder mo_enq_cas_;
+  check::MemOrder mo_threshold_check_;
+  check::MemOrder mo_threshold_store_;
+  check::MemOrder mo_threshold_faa_;
+  check::MemOrder mo_deq_faa_head_;
+  check::MemOrder mo_deq_entry_load_;
+  check::MemOrder mo_deq_consume_or_;
+  check::MemOrder mo_deq_mark_cas_;
+  check::MemOrder mo_deq_tail_load_;
+  check::MemOrder mo_catchup_cas_;
+  Stats stats_;
+};
+
+}  // namespace msq::sim

@@ -1,0 +1,196 @@
+// The shared bounded-queue oracle: RingQueue and ScqQueue implement the
+// same CONTRACT -- refuse at capacity (kPoolRefuse + kQueueFull per
+// refused call), report empty (kDequeueEmpty per miss), deliver FIFO --
+// even though one blocks on a stalled peer's slot handshake and the other
+// marks the stalled peer's entry unsafe and routes around it.  The oracle
+// runs an identical single-threaded script against both and diffs the
+// OBSERVABLE story: accepted counts, refusal counts, counter deltas.
+//
+// The second half pins down the reachability of every scq fault window
+// (tools/fault_sites_lint.py closes the loop): the plain operation sites
+// fire on ordinary traffic, and the threshold-budget window -- which only
+// opens when the tail runs ahead of a scanning dequeuer -- is staged
+// deterministically by parking two enqueuers inside their deposit CAS.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "fault/fault_plan.hpp"
+#include "obs/counters.hpp"
+#include "queues/queues.hpp"
+
+namespace msq {
+namespace {
+
+// ---------------------------------------------------------------------------
+// The oracle: one script, two queues, identical observable behaviour.
+// ---------------------------------------------------------------------------
+
+constexpr std::uint32_t kCapacity = 8;  // power of two: exact for both
+
+/// Everything a bounded queue's user can observe from the shared script.
+struct Oracle {
+  std::uint64_t accepted = 0;        // enqueues until the first refusal
+  std::uint64_t drained = 0;         // dequeues until the first miss
+  std::vector<std::uint64_t> order;  // values in dequeue order
+  std::uint64_t enq = 0;             // counter deltas over the whole script
+  std::uint64_t deq = 0;
+  std::uint64_t queue_full = 0;
+  std::uint64_t pool_refuse = 0;
+  std::uint64_t deq_empty = 0;
+
+  bool operator==(const Oracle& o) const {
+    return accepted == o.accepted && drained == o.drained &&
+           order == o.order && enq == o.enq && deq == o.deq &&
+           queue_full == o.queue_full && pool_refuse == o.pool_refuse &&
+           deq_empty == o.deq_empty;
+  }
+};
+
+/// Two fill/refuse/drain/miss cycles: refusal and emptiness must both be
+/// clean (no lost values) and repeatable (the refused/missed calls leave
+/// no residue that changes the next cycle).
+template <typename Q>
+Oracle run_script() {
+  Q queue(kCapacity);
+  Oracle o;
+  obs::arm();
+  const auto before = obs::snapshot();
+  std::uint64_t next = 100;
+  for (int cycle = 0; cycle < 2; ++cycle) {
+    std::uint64_t accepted = 0;
+    while (queue.try_enqueue(next + accepted)) ++accepted;
+    if (cycle == 0) o.accepted = accepted;
+    EXPECT_EQ(accepted, kCapacity);
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_FALSE(queue.try_enqueue(999));  // repeatable refusal
+    }
+    std::uint64_t out = 0;
+    std::uint64_t drained = 0;
+    while (queue.try_dequeue(out)) {
+      o.order.push_back(out);
+      ++drained;
+    }
+    if (cycle == 0) o.drained = drained;
+    for (int i = 0; i < 2; ++i) {
+      EXPECT_FALSE(queue.try_dequeue(out));  // repeatable emptiness
+    }
+    next += accepted;
+  }
+  const auto delta = obs::snapshot() - before;
+  obs::disarm();
+  o.enq = delta[obs::Counter::kEnqueue];
+  o.deq = delta[obs::Counter::kDequeue];
+  o.queue_full = delta[obs::Counter::kQueueFull];
+  o.pool_refuse = delta[obs::Counter::kPoolRefuse];
+  o.deq_empty = delta[obs::Counter::kDequeueEmpty];
+  return o;
+}
+
+TEST(BoundedQueueOracle, RingAndScqTellTheSameObservableStory) {
+  const Oracle ring = run_script<queues::RingQueue<std::uint64_t>>();
+  const Oracle scq = run_script<queues::ScqQueue<std::uint64_t>>();
+
+  // The contract, spelled out once (against ring) so a joint regression
+  // in both queues cannot slip through the equality check below.
+  EXPECT_EQ(ring.accepted, kCapacity);
+  EXPECT_EQ(ring.drained, kCapacity);
+  EXPECT_EQ(ring.enq, 2 * kCapacity);
+  EXPECT_EQ(ring.deq, 2 * kCapacity);
+  EXPECT_EQ(ring.queue_full, 2 * 3u + 2u);  // 3 probes + the stopping call
+  EXPECT_EQ(ring.pool_refuse, ring.queue_full);
+  EXPECT_EQ(ring.deq_empty, 2 * 2u + 2u);
+  ASSERT_EQ(ring.order.size(), 2 * kCapacity);
+  for (std::size_t i = 0; i < ring.order.size(); ++i) {
+    EXPECT_EQ(ring.order[i], 100 + i) << "FIFO violated at " << i;
+  }
+
+  EXPECT_TRUE(ring == scq)
+      << "ring and scq disagree on the bounded-queue contract";
+}
+
+// ---------------------------------------------------------------------------
+// Fault-window reachability (the lint's coverage plans).
+// ---------------------------------------------------------------------------
+
+// Ordinary traffic crosses every window except the threshold budget: an
+// enqueue takes a free index (scq.faa_deq on the free ring) and deposits
+// it (scq.faa_enq + scq.enq_cas on the allocated ring); a dequeue mirrors
+// it; and a dequeue on a just-emptied queue advances a stale entry's
+// cycle (scq.deq_mark) then drags the lagging tail forward (scq.catchup).
+TEST(ScqFaultWindows, OperationAndCatchupWindowsAreReachable) {
+  queues::ScqQueue<std::uint64_t> queue(4);
+  fault::FaultPlan plan;
+  plan.delay_at("scq.enq", /*yields=*/1);
+  plan.delay_at("scq.deq", /*yields=*/1);
+  plan.delay_at("scq.faa_enq", /*yields=*/1);
+  plan.delay_at("scq.enq_cas", /*yields=*/1);
+  plan.delay_at("scq.faa_deq", /*yields=*/1);
+  plan.delay_at("scq.deq_mark", /*yields=*/1);
+  plan.delay_at("scq.catchup", /*yields=*/1);
+  plan.arm();
+  EXPECT_TRUE(queue.try_enqueue(7));
+  std::uint64_t out = 0;
+  EXPECT_TRUE(queue.try_dequeue(out));
+  EXPECT_EQ(out, 7u);
+  EXPECT_FALSE(queue.try_dequeue(out));  // the mark + catch-up dequeue
+  plan.disarm();
+  EXPECT_GT(plan.hits("scq.enq"), 0u);
+  EXPECT_GT(plan.hits("scq.deq"), 0u);
+  EXPECT_GT(plan.hits("scq.faa_enq"), 0u);
+  EXPECT_GT(plan.hits("scq.enq_cas"), 0u);
+  EXPECT_GT(plan.hits("scq.faa_deq"), 0u);
+  EXPECT_GT(plan.hits("scq.deq_mark"), 0u);
+  EXPECT_GT(plan.hits("scq.catchup"), 0u);
+}
+
+// The threshold window only opens when the tail is MORE than one ahead of
+// a missing dequeuer -- i.e. some enqueuer has claimed a ticket but not
+// yet deposited.  Stage it: park TWO enqueuers inside their deposit CAS
+// (tickets claimed, entries still empty), then scan from a dequeuer.  Its
+// first miss sees tail two ahead -> spends budget (scq.threshold); its
+// second miss reaches the tail -> catch-up path.  This is also the
+// non-blocking contrast with RingQueue: the dequeuer RETURNS (empty)
+// while both enqueuers are wedged, rather than spinning on their slots.
+TEST(ScqFaultWindows, ThresholdBudgetWindowIsReachable) {
+  queues::ScqQueue<std::uint64_t> queue(4);
+  // Pre-arm the allocated ring's budget: a completed deposit resets it
+  // (a fresh empty ring's -1 would short-circuit the scan entirely).
+  ASSERT_TRUE(queue.try_enqueue(1));
+  std::uint64_t out = 0;
+  ASSERT_TRUE(queue.try_dequeue(out));
+
+  fault::FaultPlan plan;
+  plan.delay_at("scq.threshold", /*yields=*/1);
+  plan.halt_at("scq.enq_cas", /*skip=*/0, /*victims=*/2);
+  plan.arm();
+
+  std::atomic<bool> ok1{false};
+  std::atomic<bool> ok2{false};
+  std::thread e1([&] { ok1.store(queue.try_enqueue(11)); });
+  std::thread e2([&] { ok2.store(queue.try_enqueue(12)); });
+  plan.wait_for_halted(2);  // both parked: tickets taken, deposits pending
+
+  EXPECT_FALSE(queue.try_dequeue(out));  // threshold-certified empty
+  EXPECT_GT(plan.hits("scq.threshold"), 0u);
+
+  plan.disarm();
+  plan.release_halted();
+  e1.join();
+  e2.join();
+  EXPECT_TRUE(ok1.load());
+  EXPECT_TRUE(ok2.load());
+
+  // The resurrected deposits landed: both values drain (ticket order
+  // between the two racing enqueuers is theirs to decide).
+  std::set<std::uint64_t> drained;
+  while (queue.try_dequeue(out)) drained.insert(out);
+  EXPECT_EQ(drained, (std::set<std::uint64_t>{11, 12}));
+}
+
+}  // namespace
+}  // namespace msq

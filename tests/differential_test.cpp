@@ -37,6 +37,7 @@ enum class Kind {
   kSingleLock,
   kMc,
   kRing,
+  kScq,  // bounded indirect SCQ ring (Nikolaev), memory-bounded lock-free
   kPlj,
   kValois,
   kSeg,
@@ -46,8 +47,9 @@ enum class Kind {
 
 constexpr Kind kAllKinds[] = {Kind::kMs,   Kind::kMsDw,       Kind::kMsHp,
                               Kind::kTwoLock, Kind::kSingleLock, Kind::kMc,
-                              Kind::kRing, Kind::kPlj,        Kind::kValois,
-                              Kind::kSeg,  Kind::kSharded1,  Kind::kWf};
+                              Kind::kRing, Kind::kScq,       Kind::kPlj,
+                              Kind::kValois, Kind::kSeg,     Kind::kSharded1,
+                              Kind::kWf};
 
 /// Type-erased adapter so the sweep can be a value-parameterised test
 /// (kind x seed) rather than 8 copies of the same code.
@@ -76,6 +78,9 @@ class AnyQueue {
         break;
       case Kind::kRing:
         impl_ = make<RingQueue<std::uint64_t>>(capacity);
+        break;
+      case Kind::kScq:
+        impl_ = make<ScqQueue<std::uint64_t>>(capacity);
         break;
       case Kind::kPlj:
         impl_ = make<PljQueue<std::uint64_t>>(capacity);

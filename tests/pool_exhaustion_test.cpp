@@ -38,6 +38,7 @@ using PoolBackedTypes =
     ::testing::Types<MsQueue<std::uint64_t>, MsQueueDw<std::uint64_t>,
                      TwoLockQueue<std::uint64_t>, SingleLockQueue<std::uint64_t>,
                      MellorCrummeyQueue<std::uint64_t>, RingQueue<std::uint64_t>,
+                     ScqQueue<std::uint64_t>,
                      PljQueue<std::uint64_t>, ValoisQueue<std::uint64_t>,
                      SegmentQueue<std::uint64_t>,
                      // Sequential fill-to-refusal stays globally FIFO even

@@ -35,7 +35,7 @@ using QueueTypes =
                      MsQueueHp<std::uint64_t>, TwoLockQueue<std::uint64_t>,
                      SingleLockQueue<std::uint64_t>,
                      MellorCrummeyQueue<std::uint64_t>, RingQueue<std::uint64_t>,
-                     PljQueue<std::uint64_t>,
+                     ScqQueue<std::uint64_t>, PljQueue<std::uint64_t>,
                      ValoisQueue<std::uint64_t>, SegmentQueue<std::uint64_t>,
                      WfQueue<std::uint64_t>>;
 TYPED_TEST_SUITE(QueueBasicTest, QueueTypes);
@@ -162,6 +162,10 @@ TEST(QueueTraits, ProgressClassificationMatchesPaper) {
   EXPECT_EQ(MellorCrummeyQueue<int>::traits.progress,
             Progress::kLockFreeBlocking);
   EXPECT_EQ(RingQueue<int>::traits.progress, Progress::kLockFreeBlocking);
+  // SCQ is bounded like the ring but genuinely non-blocking: a dequeuer
+  // overtaking a stalled enqueuer marks the entry unsafe and moves on
+  // instead of waiting on the slot handshake.
+  EXPECT_EQ(ScqQueue<int>::traits.progress, Progress::kNonBlocking);
   // The helping wrapper upgrades the MS core's guarantee to wait-free
   // (ROADMAP item 3; the bound is proven over schedules in
   // tests/sim_wf_test.cpp).

@@ -48,7 +48,7 @@ using QueueTypes =
                      MsQueueHp<std::uint64_t>, TwoLockQueue<std::uint64_t>,
                      SingleLockQueue<std::uint64_t>,
                      MellorCrummeyQueue<std::uint64_t>, RingQueue<std::uint64_t>,
-                     PljQueue<std::uint64_t>,
+                     ScqQueue<std::uint64_t>, PljQueue<std::uint64_t>,
                      ValoisQueue<std::uint64_t>, SegmentQueue<std::uint64_t>,
                      // Degenerate single shard keeps full global FIFO, so it
                      // rides every suite here; multi-shard configurations are

@@ -38,7 +38,7 @@ using QueueTypes =
                      MsQueueHp<std::uint64_t>, TwoLockQueue<std::uint64_t>,
                      SingleLockQueue<std::uint64_t>,
                      MellorCrummeyQueue<std::uint64_t>, RingQueue<std::uint64_t>,
-                     PljQueue<std::uint64_t>,
+                     ScqQueue<std::uint64_t>, PljQueue<std::uint64_t>,
                      ValoisQueue<std::uint64_t>, SegmentQueue<std::uint64_t>,
                      // A single shard is exactly its inner queue plus the
                      // ticket scaffolding: must stay fully linearizable.

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Validate BENCH_*.json files produced by the benches (--json).
 
-Two schemas share the counter tables and finiteness rules:
+Three schemas share the counter tables and finiteness rules:
 
 Schema "msq-bench-v1" (bench/fig_common.cpp:write_json and friends):
 
@@ -48,6 +48,27 @@ Scenario cross-checks beyond shape: shed_rate in [0, 1]; conservation
 (enqueued + shed == offered_load, dequeued == enqueued -- the driver drains
 before returning); slo_verdict consistent with the three clause booleans.
 
+Schema "msq-memory-v1" (bench/fig_memory.cpp:write_json) -- the cross-queue
+memory-footprint family: one object per (queue family, steady|stall) run,
+carrying the allocation ceiling, the measured peak, and the bounded-memory
+claim:
+
+    {
+      "schema": "msq-memory-v1",
+      "title": str, "pairs": int, "occupancy": int, "capacity": int,
+      "stall_us": int, "seed": int, "probes_enabled": bool,
+      "runs": [
+        {"algo": str, "scenario": "steady"|"stall", "capacity_nodes": int,
+         "node_bytes": int, "peak_nodes": int, "peak_bytes": int,
+         "bytes_per_element": num, "ops": int, "enqueue_failures": int,
+         "memory_bounded": bool,
+         "counters": {<name>: {"total": int, "per_op": num}, ...}}]
+    }
+
+Memory cross-checks beyond shape: peak_bytes == peak_nodes * node_bytes;
+memory_bounded runs must honour their ceiling (peak_nodes <=
+capacity_nodes) -- the SCQ's headline claim, machine-checked.
+
 Checks exit non-zero with a per-file error listing on any violation (CI
 smoke-bench).  `--self-test` validates embedded good fixtures of BOTH
 schemas and asserts that representative mutations are caught.
@@ -66,7 +87,7 @@ COUNTER_NAMES = [
     "explore_run", "explore_skip", "race_report", "pool_cas_retry",
     "seg_close", "mag_hit", "mag_refill", "mag_flush",
     "shard_hit", "shard_steal", "shard_rehome", "empty_rescan", "wf_help",
-    "queue_full", "shed_retry", "shed",
+    "queue_full", "shed_retry", "shed", "scq_catchup", "scq_threshold_reset",
 ]
 
 TOP_KEYS = {
@@ -111,6 +132,19 @@ SCENARIO_KEYS = {
 SLO_KEYS = {
     "p99_ns_max": int, "p999_ns_max": int, "shed_rate_max": (int, float),
     "p99_ok": bool, "p999_ok": bool, "shed_ok": bool,
+}
+
+MEMORY_TOP_KEYS = {
+    "schema": str, "title": str, "pairs": int, "occupancy": int,
+    "capacity": int, "stall_us": int, "seed": int, "probes_enabled": bool,
+    "runs": list,
+}
+
+MEMORY_RUN_KEYS = {
+    "algo": str, "scenario": str, "capacity_nodes": int, "node_bytes": int,
+    "peak_nodes": int, "peak_bytes": int,
+    "bytes_per_element": (int, float), "ops": int, "enqueue_failures": int,
+    "memory_bounded": bool, "counters": dict,
 }
 
 
@@ -265,6 +299,60 @@ def check_scenarios_doc(doc, err):
             check_counters(counters, where, err)
 
 
+def check_memory_doc(doc, err):
+    """The msq-memory-v1 footprint shape (one object per family/scenario)."""
+    ok_top = []
+    check_keys(doc, MEMORY_TOP_KEYS, "top-level", lambda m: ok_top.append(m))
+    if ok_top:
+        for m in ok_top:
+            err(m)
+        return
+
+    if not doc["runs"]:
+        err("empty runs list")
+
+    for r_idx, run in enumerate(doc["runs"]):
+        where = f"runs[{r_idx}]"
+        if not isinstance(run, dict):
+            err(f"{where} is not an object")
+            continue
+        algo = run.get("algo")
+        scenario = run.get("scenario")
+        if isinstance(algo, str) and isinstance(scenario, str):
+            where = f"runs[{r_idx}] ({algo}/{scenario})"
+        check_keys(run, MEMORY_RUN_KEYS, where, err)
+
+        if isinstance(scenario, str) and scenario not in ("steady", "stall"):
+            err(f"{where} scenario must be 'steady' or 'stall', "
+                f"got {scenario!r}")
+
+        for key in ("capacity_nodes", "node_bytes", "peak_nodes",
+                    "peak_bytes", "bytes_per_element"):
+            value = run.get(key)
+            if typed(value, (int, float)) and finite(value) and value < 0:
+                err(f"{where} {key!r} is negative")
+
+        nodes = run.get("peak_nodes")
+        grain = run.get("node_bytes")
+        peak = run.get("peak_bytes")
+        if all(typed(v, int) for v in (nodes, grain, peak)):
+            if peak != nodes * grain:
+                err(f"{where} peak_bytes {peak} != peak_nodes {nodes} * "
+                    f"node_bytes {grain}")
+
+        ceiling = run.get("capacity_nodes")
+        bounded = run.get("memory_bounded")
+        if isinstance(bounded, bool) and bounded and \
+                all(typed(v, int) for v in (nodes, ceiling)):
+            if nodes > ceiling:
+                err(f"{where} claims memory_bounded but peak_nodes {nodes} "
+                    f"exceeds capacity_nodes {ceiling}")
+
+        counters = run.get("counters")
+        if isinstance(counters, dict):
+            check_counters(counters, where, err)
+
+
 def check_file(path):
     errors = []
 
@@ -284,6 +372,8 @@ def check_file(path):
         check_bench_doc(doc, err)
     elif schema == "msq-scenarios-v1":
         check_scenarios_doc(doc, err)
+    elif schema == "msq-memory-v1":
+        check_memory_doc(doc, err)
     else:
         err(f"unknown schema {schema!r}")
     return errors
@@ -334,6 +424,26 @@ def _scenarios_fixture():
     }
 
 
+def _memory_fixture():
+    def run(algo, scenario, bounded, ceiling, peak):
+        return {
+            "algo": algo, "scenario": scenario, "capacity_nodes": ceiling,
+            "node_bytes": 40, "peak_nodes": peak, "peak_bytes": peak * 40,
+            "bytes_per_element": peak * 40 / 12, "ops": 9000,
+            "enqueue_failures": 0 if scenario == "steady" else 120,
+            "memory_bounded": bounded,
+            "counters": _counters_fixture(),
+        }
+    return {
+        "schema": "msq-memory-v1", "title": "fixture", "pairs": 4000,
+        "occupancy": 12, "capacity": 2000, "stall_us": 500, "seed": 1,
+        "probes_enabled": True,
+        "runs": [run("scq", "steady", True, 16, 16),
+                 run("scq", "stall", True, 16, 16),
+                 run("msq", "stall", False, 2001, 2001)],
+    }
+
+
 def _check_doc(doc):
     """Validate an in-memory doc through the real file path."""
     with tempfile.NamedTemporaryFile("w", suffix=".json") as f:
@@ -361,6 +471,7 @@ def self_test():
 
     expect_clean("bench/good", _bench_fixture())
     expect_clean("scenarios/good", _scenarios_fixture())
+    expect_clean("memory/good", _memory_fixture())
 
     doc = _bench_fixture()
     del doc["series"][0]["points"][1]["counters"]["shed"]
@@ -406,10 +517,32 @@ def self_test():
     doc["schema"] = "msq-scenarios-v9"
     expect_errors("scenarios/unknown-schema", doc, "unknown schema")
 
+    doc = _memory_fixture()
+    del doc["runs"][0]["peak_nodes"]
+    expect_errors("memory/missing-peak", doc, "peak_nodes")
+
+    doc = _memory_fixture()
+    doc["runs"][1]["scenario"] = "slow"
+    expect_errors("memory/scenario-enum", doc, "scenario must be")
+
+    doc = _memory_fixture()
+    doc["runs"][2]["peak_bytes"] = 7
+    expect_errors("memory/bytes-mismatch", doc, "!= peak_nodes")
+
+    doc = _memory_fixture()
+    doc["runs"][1]["peak_nodes"] = 17
+    doc["runs"][1]["peak_bytes"] = 17 * 40
+    expect_errors("memory/bound-violated", doc, "exceeds capacity_nodes")
+
+    doc = _memory_fixture()
+    del doc["runs"][0]["counters"]["scq_threshold_reset"]
+    expect_errors("memory/missing-scq-counter", doc, "scq_threshold_reset")
+
     for f in failures:
         print(f"self-test failure: {f}", file=sys.stderr)
     if not failures:
-        print("self-test ok: both schemas validated, all mutations caught")
+        print("self-test ok: all three schemas validated, "
+              "all mutations caught")
     return 1 if failures else 0
 
 
@@ -426,7 +559,7 @@ def main(argv):
         print(f"error: {e}", file=sys.stderr)
     if not all_errors:
         print(f"ok: {len(argv) - 1} file(s) conform to msq-bench-v1 / "
-              "msq-scenarios-v1")
+              "msq-scenarios-v1 / msq-memory-v1")
     return 1 if all_errors else 0
 
 

@@ -41,6 +41,7 @@
 #include "sim/mo_table.hpp"
 #include "sim/ms_queue_sim.hpp"
 #include "sim/queue_iface.hpp"
+#include "sim/scq_ring_sim.hpp"
 #include "sim/sim_freelist.hpp"
 #include "sim/sim_lock.hpp"
 #include "sim/valois_queue_sim.hpp"
@@ -328,6 +329,68 @@ class MpWorld final : public WorldBase {
   MpLitmus litmus_;
 };
 
+// --- world S/s: the SCQ index ring with a plain-payload handshake -----------
+//
+// Same shape as the MS worlds: producers plain-write a payload word keyed
+// by the ring value before depositing it, consumers plain-read it after
+// consuming.  The only publication edge between those plain accesses is
+// the ring's own entry CAS / consume chain, so severing it surfaces as an
+// hb race on the payload; atomicity demotions race on the ring words
+// themselves.  half=1 (two entries) keeps DPOR small while still forcing
+// cycle reuse, catch-up, and the threshold reset on every schedule.
+class ScqWorld final : public WorldBase {
+ public:
+  ScqWorld(const MoTable* mo, std::uint64_t values,
+           std::vector<int> consumer_attempts)
+      : engine_(sweep_config(/*weak=*/false, check::SyncModel::kOrders)),
+        ring_(engine_, /*half=*/1, /*full=*/false, mo),
+        payload_(engine_.memory().alloc(8)) {
+    engine_.spawn(0, [this, values](Proc& p) { return producer(p, values); });
+    for (const int attempts : consumer_attempts) {
+      engine_.spawn(0,
+                    [this, attempts](Proc& p) { return consumer(p, attempts); });
+    }
+  }
+
+  [[nodiscard]] Engine& engine() override { return engine_; }
+
+  void check_terminal() override {
+    if (!engine_.all_done()) return;
+    if (bad_payload_) {
+      throw std::runtime_error(
+          "SCQ payload handshake: consumer read a stale plain payload");
+    }
+  }
+
+ private:
+  Task<void> producer(Proc& p, std::uint64_t n) {
+    for (std::uint64_t v = 0; v < n; ++v) {
+      co_await p.write(payload_ + v, 100 + v, check::MemOrder::kPlain);
+      // half=1 only holds one index at a time, so value v+1 can need the
+      // consumer to drain value v first; the FAA-round budget keeps
+      // consumer-never-drains schedules finite for DPOR.
+      const bool ok = co_await ring_.enqueue(
+          p, static_cast<std::uint32_t>(v), /*max_rounds=*/5);
+      if (!ok) co_return;
+    }
+  }
+
+  Task<void> consumer(Proc& p, int attempts) {
+    for (int a = 0; a < attempts; ++a) {
+      const std::uint32_t v = co_await ring_.dequeue(p);
+      if (v == SimScqRing::kBottom) continue;
+      const std::uint64_t seen =
+          co_await p.read(payload_ + v, check::MemOrder::kPlain);
+      if (seen != 100 + v) bad_payload_ = true;
+    }
+  }
+
+  Engine engine_;
+  SimScqRing ring_;
+  Addr payload_;
+  bool bad_payload_ = false;
+};
+
 // --- world registry ----------------------------------------------------------
 //
 //  A  MS 1 producer (2 values) + 1 consumer            -- default MS world
@@ -339,6 +402,7 @@ class MpWorld final : public WorldBase {
 //  G  SB litmus (weak memory)    g  SB litmus (SC)
 //  H  MP litmus (SC)             h  MP litmus (weak memory)
 //  W  MS 1 producer (1 value) + 1 consumer, weak memory (TSO baseline)
+//  S  SCQ ring 1p1c               s  SCQ ring 1p2c (consume contention)
 struct WorldSpec {
   char id;
   const char* name;
@@ -360,6 +424,8 @@ struct WorldSpec {
     case 'H': return {'H', "MP litmus (SC)", 2, {1'000, 20'000}};
     case 'h': return {'h', "MP litmus (weak)", 2, {1'000, 20'000}};
     case 'W': return {'W', "MS 1p1c (weak)", 2, {6'000, 400'000}};
+    case 'S': return {'S', "SCQ ring 1p1c", 2, {8'000, 400'000}};
+    case 's': return {'s', "SCQ ring 1p2c", 3, {10'000, 600'000}};
     default: throw std::logic_error("unknown world id");
   }
 }
@@ -379,6 +445,8 @@ struct WorldSpec {
     case 'H': return std::make_unique<MpWorld>(mo, false);
     case 'h': return std::make_unique<MpWorld>(mo, true);
     case 'W': return std::make_unique<MsWorld>(mo, true, 1, 1, std::vector<int>{2});
+    case 'S': return std::make_unique<ScqWorld>(mo, 2, std::vector<int>{3});
+    case 's': return std::make_unique<ScqWorld>(mo, 2, std::vector<int>{2, 2});
     default: throw std::logic_error("unknown world id");
   }
 }
@@ -459,6 +527,13 @@ struct WorldSpec {
     if (to_plain && site_is(s, {"valois.ptr_reread"})) return {'F', 'V'};
     return {'F'};
   }
+  if (std::strncmp(s.name, "scq.", 4) == 0) {
+    // Plain demotions of the probe loads need a SECOND concurrent actor
+    // on the same word (a sibling consumer's head FAA / mark CAS) to form
+    // the racing pair in schedules the 1p1c world cannot reach.
+    if (to_plain) return {'S', 's'};
+    return {'S'};
+  }
   if (std::strncmp(s.name, "sb.", 3) == 0) return {'G'};
   if (std::strncmp(s.name, "mp.", 3) == 0) return {'H'};
   throw std::logic_error(std::string("unrouted site: ") + s.name);
@@ -487,7 +562,7 @@ int main() {
   // ---- 1. unmutated baselines must be clean --------------------------------
   std::printf("== baselines (annotated orders, no mutation) ==\n");
   for (const char id :
-       {'A', 'B', 'C', 'D', 'E', 'F', 'V', 'G', 'g', 'H', 'h', 'W'}) {
+       {'A', 'B', 'C', 'D', 'E', 'F', 'V', 'G', 'g', 'H', 'h', 'W', 'S', 's'}) {
     const WorldSpec spec = world_spec(id);
     const RunOutcome out = run_world(id, nullptr, /*early_exit=*/false);
     const char* verdict = out.caught() ? "VIOLATION" : "clean";
